@@ -1,0 +1,78 @@
+// Ablation study of the prescient routing's design choices (DESIGN.md §5;
+// the paper's supplementary materials discuss several of these):
+//
+//   reorder      step-1 batch reordering on/off (Fig. 3 ping-pong
+//                avoidance comes from reordering)
+//   rebalance    step-3 load balancing on/off (off degenerates toward
+//                LEAP-like pile-up under skew)
+//   pass dir     backward (paper) vs forward step-3 walk
+//   alpha        load-imbalance tolerance sweep
+//   fusion cap   fusion-table capacity sweep (the §4.1 trade-off)
+//   policy       LRU vs FIFO eviction
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using hermes::ClusterConfig;
+using hermes::EvictionPolicy;
+using hermes::bench::GoogleRunParams;
+using hermes::bench::RunGoogleWorkload;
+using hermes::engine::RouterKind;
+
+namespace {
+
+double Run(std::function<void(ClusterConfig&)> tweak,
+           double fusion_frac = 0.025) {
+  GoogleRunParams params;
+  params.windows = 5;
+  params.fusion_capacity_frac = fusion_frac;
+  params.tweak = std::move(tweak);
+  return RunGoogleWorkload(RouterKind::kHermes, std::move(params))
+      .mean_throughput;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hermes ablations under the Google workload (txn/s)\n\n");
+
+  const double full = Run(nullptr);
+  std::printf("full algorithm                 %8.0f\n", full);
+
+  std::printf("no step-1 reordering           %8.0f\n",
+              Run([](ClusterConfig& c) { c.hermes.enable_reorder = false; }));
+  std::printf("no step-3 load balancing       %8.0f\n",
+              Run([](ClusterConfig& c) { c.hermes.enable_rebalance = false; }));
+  std::printf("forward step-3 pass            %8.0f\n",
+              Run([](ClusterConfig& c) { c.hermes.backward_pass = false; }));
+
+  std::printf("\nalpha sweep (load tolerance):\n");
+  for (double alpha : {0.0, 0.25, 1.0, 4.0}) {
+    std::printf("  alpha=%.2f                   %8.0f\n", alpha,
+                Run([alpha](ClusterConfig& c) { c.hermes.alpha = alpha; }));
+  }
+
+  std::printf("\nfusion table capacity sweep (fraction of database):\n");
+  for (double frac : {0.005, 0.025, 0.10}) {
+    std::printf("  capacity=%.1f%%                %8.0f\n", frac * 100,
+                Run(nullptr, frac));
+  }
+  std::printf("  unbounded                    %8.0f\n",
+              Run([](ClusterConfig& c) {
+                c.hermes.fusion_table_capacity = 0;
+              }));
+
+  std::printf("\neviction policy:\n");
+  std::printf("  LRU                          %8.0f\n", Run(nullptr));
+  std::printf("  FIFO                         %8.0f\n",
+              Run([](ClusterConfig& c) {
+                c.hermes.eviction_policy = EvictionPolicy::kFifo;
+              }));
+
+  std::printf("\nexpected shape: the full algorithm dominates; dropping "
+              "rebalancing hurts most under the skewed trace; tiny fusion "
+              "tables cost eviction churn; very large alpha trades balance "
+              "for locality\n");
+  return 0;
+}

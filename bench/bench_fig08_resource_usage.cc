@@ -1,0 +1,54 @@
+// Reproduces Fig. 8: average CPU utilization and network bytes per
+// transaction over time under the Google workload.
+//
+// Expected shape (paper): Hermes sustains the highest CPU utilization
+// (better load balancing lets it use the cluster) while its per-txn
+// network usage is comparable to — sometimes below — the baselines
+// (fewer distributed transactions); Clay shows network spikes from its
+// dedicated migration phases.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using hermes::bench::GoogleRunParams;
+using hermes::bench::PrintSeriesTable;
+using hermes::bench::RunGoogleWorkload;
+using hermes::bench::RunResult;
+using hermes::engine::RouterKind;
+
+int main() {
+  std::printf("Fig. 8 reproduction: CPU and network usage over time\n");
+  GoogleRunParams defaults;
+  const double window_s = defaults.window_us / 1e6;
+
+  RunResult calvin = RunGoogleWorkload(RouterKind::kCalvin, GoogleRunParams{});
+  GoogleRunParams clay_params;
+  clay_params.enable_clay = true;
+  RunResult clay = RunGoogleWorkload(RouterKind::kCalvin, std::move(clay_params));
+  RunResult gstore = RunGoogleWorkload(RouterKind::kGStore, GoogleRunParams{});
+  RunResult tpart = RunGoogleWorkload(RouterKind::kTPart, GoogleRunParams{});
+  RunResult leap = RunGoogleWorkload(RouterKind::kLeap, GoogleRunParams{});
+  RunResult hermes = RunGoogleWorkload(RouterKind::kHermes, GoogleRunParams{});
+
+  auto pct = [](std::vector<double> v) {
+    for (double& x : v) x *= 100.0;
+    return v;
+  };
+  PrintSeriesTable("Fig 8a: average CPU usage",
+                   {"calvin", "clay", "gstore", "tpart", "leap", "hermes"},
+                   {pct(calvin.cpu), pct(clay.cpu), pct(gstore.cpu),
+                    pct(tpart.cpu), pct(leap.cpu), pct(hermes.cpu)},
+                   window_s, "percent of worker capacity");
+
+  PrintSeriesTable(
+      "Fig 8b: network usage per transaction",
+      {"calvin", "clay", "gstore", "tpart", "leap", "hermes"},
+      {calvin.net_per_txn, clay.net_per_txn, gstore.net_per_txn,
+       tpart.net_per_txn, leap.net_per_txn, hermes.net_per_txn},
+      window_s, "bytes per committed txn");
+
+  std::printf("\npaper shape: hermes uses the most CPU (balanced load) with "
+              "network per txn at or below the baselines\n");
+  return 0;
+}

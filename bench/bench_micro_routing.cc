@@ -1,0 +1,124 @@
+// Microbenchmarks for the routing algorithms (google-benchmark), backing
+// the paper's §3.2.4 cost analysis: the prescient routing at n=20 nodes
+// and b=1000 requests per batch must take only a few milliseconds of real
+// CPU per batch (amortized to microseconds per transaction).
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/hermes_router.h"
+#include "partition/partition_map.h"
+#include "routing/calvin_router.h"
+#include "routing/tpart_router.h"
+
+namespace {
+
+using hermes::Batch;
+using hermes::ClusterConfig;
+using hermes::CostModel;
+using hermes::HermesConfig;
+using hermes::Key;
+using hermes::Rng;
+using hermes::TxnRequest;
+
+Batch MakeBatch(size_t b, uint64_t records, int reads_per_txn,
+                uint64_t seed) {
+  Rng rng(seed);
+  Batch batch;
+  batch.txns.reserve(b);
+  for (size_t i = 0; i < b; ++i) {
+    TxnRequest txn;
+    txn.id = i;
+    for (int r = 0; r < reads_per_txn; ++r) {
+      txn.read_set.push_back(rng.NextBounded(records));
+    }
+    txn.write_set = {txn.read_set.front()};
+    batch.txns.push_back(std::move(txn));
+  }
+  return batch;
+}
+
+void BM_HermesRouteBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const size_t b = static_cast<size_t>(state.range(1));
+  const uint64_t records = 1'000'000;
+  CostModel costs;
+  hermes::partition::OwnershipMap ownership(
+      std::make_unique<hermes::partition::RangePartitionMap>(records, n));
+  HermesConfig config;
+  config.fusion_table_capacity = records / 40;
+  hermes::core::HermesRouter router(&ownership, &costs, n, config);
+
+  uint64_t seed = 7;
+  for (auto _ : state) {
+    Batch batch = MakeBatch(b, records, 4, seed++);
+    benchmark::DoNotOptimize(router.RouteBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_HermesRouteBatch)
+    ->ArgsProduct({{4, 10, 20}, {100, 1000}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CalvinRouteBatch(benchmark::State& state) {
+  const int n = 20;
+  const size_t b = static_cast<size_t>(state.range(0));
+  const uint64_t records = 1'000'000;
+  CostModel costs;
+  hermes::partition::OwnershipMap ownership(
+      std::make_unique<hermes::partition::RangePartitionMap>(records, n));
+  hermes::routing::CalvinRouter router(&ownership, &costs, n);
+
+  uint64_t seed = 7;
+  for (auto _ : state) {
+    Batch batch = MakeBatch(b, records, 4, seed++);
+    benchmark::DoNotOptimize(router.RouteBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_CalvinRouteBatch)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_TPartRouteBatch(benchmark::State& state) {
+  const int n = 20;
+  const size_t b = static_cast<size_t>(state.range(0));
+  const uint64_t records = 1'000'000;
+  CostModel costs;
+  hermes::partition::OwnershipMap ownership(
+      std::make_unique<hermes::partition::RangePartitionMap>(records, n));
+  hermes::routing::TPartRouter router(&ownership, &costs, n);
+
+  uint64_t seed = 7;
+  for (auto _ : state) {
+    Batch batch = MakeBatch(b, records, 4, seed++);
+    benchmark::DoNotOptimize(router.RouteBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_TPartRouteBatch)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// Hot-key contention: many transactions share few keys, stressing the
+// reorder/reroute machinery (step 3 does the most work here).
+void BM_HermesRouteBatchContended(benchmark::State& state) {
+  const int n = 20;
+  const size_t b = 1000;
+  const uint64_t records = 1000;  // tiny key space: heavy conflicts
+  CostModel costs;
+  hermes::partition::OwnershipMap ownership(
+      std::make_unique<hermes::partition::RangePartitionMap>(records, n));
+  hermes::core::HermesRouter router(&ownership, &costs, n, HermesConfig{});
+
+  uint64_t seed = 7;
+  for (auto _ : state) {
+    Batch batch = MakeBatch(b, records, 4, seed++);
+    benchmark::DoNotOptimize(router.RouteBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_HermesRouteBatchContended)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,4 @@
+#include "common/config.h"
+
+// Configuration is all aggregate data; this translation unit exists so the
+// header has an associated object file and stays self-contained.

@@ -1,0 +1,101 @@
+#ifndef HERMES_COMMON_CONFIG_H_
+#define HERMES_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace hermes {
+
+/// CPU / wire cost model for the discrete-event cluster. All times are in
+/// simulated microseconds. Defaults approximate the paper's testbed
+/// (Core i5-4460, 10 GbE switch, 1 KB records).
+struct CostModel {
+  /// One local storage read or write of a record.
+  SimTime storage_op_us = 30;
+  /// Fixed transaction-logic cost charged on an executor worker.
+  SimTime txn_logic_us = 400;
+  /// Per-record transaction-logic cost.
+  SimTime txn_logic_per_record_us = 40;
+  /// CPU time a master spends receiving/deserializing one inbound record
+  /// shipment (charged with the execution work).
+  SimTime msg_processing_us = 25;
+  /// One-way message latency between any two nodes (same data center).
+  SimTime net_latency_us = 100;
+  /// Wire time per byte; 10 Gbps is 0.8 ns/byte, rounded up.
+  double net_us_per_byte = 0.001;
+  /// Payload size of one migrated/remotely-read record.
+  uint32_t record_bytes = 1024;
+  /// Fixed per-message framing overhead in bytes.
+  uint32_t message_overhead_bytes = 64;
+  /// Round trip to the total-order (Zab) leader for batch sequencing.
+  SimTime total_order_us = 400;
+  /// Scheduler cost of routing one transaction (linear term).
+  SimTime route_linear_us = 1;
+  /// Scheduler cost per transaction-pair interaction in a batch
+  /// (quadratic term; makes oversized batches clog the scheduler,
+  /// reproducing the Fig. 10 trade-off).
+  double route_quadratic_us = 0.04;
+  /// Cost to persist one command-log entry.
+  SimTime log_entry_us = 1;
+};
+
+/// Policy for evicting entries from a bounded fusion table (§4.1). Both
+/// policies are deterministic, which the replicated table requires.
+enum class EvictionPolicy { kFifo, kLru };
+
+/// Configuration of the prescient transaction routing and fusion table.
+struct HermesConfig {
+  /// Load-imbalance tolerance alpha in theta = ceil(b/n * (1+alpha)).
+  double alpha = 0.0;
+  /// Maximum number of (key, partition) entries in the fusion table;
+  /// 0 means unbounded.
+  size_t fusion_table_capacity = 0;
+  EvictionPolicy eviction_policy = EvictionPolicy::kLru;
+  /// Upper bound on delta relaxation rounds in step 3 before giving up
+  /// (the trivial even split always exists, so this is a safety valve).
+  int max_delta = 64;
+
+  // --- Ablation switches (all true in the paper's algorithm). ---
+  /// Step 1 reorders transactions; off = keep the sequencer order and only
+  /// choose routes (isolates the benefit of reordering, e.g. the Fig. 3
+  /// ping-pong avoidance).
+  bool enable_reorder = true;
+  /// Step 3 rebalances off overloaded nodes; off = pure locality routing
+  /// (degenerates toward LEAP-like pile-up under skew).
+  bool enable_rebalance = true;
+  /// Step 3 walks the reordered batch backward (the paper's choice: later
+  /// transactions disturb fewer subsequent reads); off = forward walk.
+  bool backward_pass = true;
+};
+
+/// Top-level configuration of a simulated cluster.
+struct ClusterConfig {
+  int num_nodes = 4;
+  /// Executor worker threads per node (paper hardware had 4 cores).
+  int workers_per_node = 4;
+  /// Sequencer epoch: requests are cut into batches every epoch.
+  SimTime epoch_us = 10 * 1000;
+  /// Upper bound on transactions per node-batch; 0 means unbounded.
+  size_t max_batch_size = 0;
+  /// Total number of records in the database.
+  uint64_t num_records = 1'000'000;
+  /// Deterministic seed for all engine-side randomness.
+  uint64_t seed = 42;
+  CostModel costs;
+  HermesConfig hermes;
+  /// Number of records moved by one cold-migration chunk transaction.
+  size_t migration_chunk_records = 1000;
+  /// Whether to append every sequenced batch to the command log
+  /// (required for recovery replay; costs log_entry_us per txn).
+  bool enable_command_log = true;
+  /// Probability that an OLLP reconnaissance prediction is stale by the
+  /// time the transaction executes, forcing a deterministic abort and one
+  /// retry (§2.1). Drawn from the cluster's seeded RNG.
+  double ollp_stale_prob = 0.05;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_CONFIG_H_

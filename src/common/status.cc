@@ -1,0 +1,44 @@
+#include "common/status.h"
+
+namespace hermes {
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Status::Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Status::Code::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+    case Status::Code::kAborted:
+      return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+}  // namespace hermes

@@ -1,0 +1,40 @@
+#ifndef HERMES_COMMON_TYPES_H_
+#define HERMES_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hermes {
+
+/// Primary key of a record. Keys form a dense integer space; static range
+/// partitioning maps contiguous key ranges to nodes.
+using Key = uint64_t;
+
+/// Identifier of a server node (also a data partition, since this prototype
+/// hosts exactly one partition per node, as in the paper's §3 assumption).
+using NodeId = int32_t;
+
+/// Globally unique, totally ordered transaction identifier. Assigned by the
+/// sequencer; the total order of transactions is the ascending TxnId order.
+using TxnId = uint64_t;
+
+/// Simulated time in microseconds since the start of the emulation.
+using SimTime = uint64_t;
+
+/// Monotonically increasing batch sequence number assigned by the
+/// total-order protocol leader.
+using BatchId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr TxnId kInvalidTxn = std::numeric_limits<TxnId>::max();
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Converts milliseconds to simulated microseconds.
+constexpr SimTime MsToSim(uint64_t ms) { return ms * 1000; }
+
+/// Converts seconds to simulated microseconds.
+constexpr SimTime SecToSim(uint64_t sec) { return sec * 1000 * 1000; }
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_TYPES_H_

@@ -1,0 +1,104 @@
+#include "core/fusion_table.h"
+
+#include "common/rng.h"
+
+namespace hermes::core {
+
+FusionTable::FusionTable(size_t capacity, EvictionPolicy policy)
+    : capacity_(capacity), policy_(policy) {}
+
+std::optional<NodeId> FusionTable::Lookup(Key key, bool touch) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  if (touch && policy_ == EvictionPolicy::kLru) {
+    TouchEntry(it->second, key);
+  }
+  return it->second.node;
+}
+
+std::optional<NodeId> FusionTable::Peek(Key key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.node;
+}
+
+void FusionTable::TouchEntry(Entry& entry, Key key) {
+  order_.erase(entry.pos);
+  order_.push_back(key);
+  entry.pos = std::prev(order_.end());
+}
+
+void FusionTable::Put(Key key, NodeId node, std::vector<Key>* evicted) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.node = node;
+    // FIFO keeps the original insertion slot; LRU refreshes on update.
+    if (policy_ == EvictionPolicy::kLru) TouchEntry(it->second, key);
+  } else {
+    order_.push_back(key);
+    entries_[key] = Entry{node, std::prev(order_.end())};
+  }
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    Key victim = order_.front();
+    order_.pop_front();
+    entries_.erase(victim);
+    evicted->push_back(victim);
+  }
+}
+
+void FusionTable::PutPinned(Key key, NodeId node,
+                            const std::unordered_set<Key>& pinned,
+                            std::vector<Key>* evicted) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.node = node;
+    if (policy_ == EvictionPolicy::kLru) TouchEntry(it->second, key);
+  } else {
+    order_.push_back(key);
+    entries_[key] = Entry{node, std::prev(order_.end())};
+  }
+  if (capacity_ == 0) return;
+  auto victim = order_.begin();
+  while (entries_.size() > capacity_ && victim != order_.end()) {
+    if (pinned.contains(*victim)) {
+      ++victim;  // pinned entries keep their slot and recency
+      continue;
+    }
+    const Key evictee = *victim;
+    victim = order_.erase(victim);
+    entries_.erase(evictee);
+    evicted->push_back(evictee);
+  }
+}
+
+void FusionTable::Erase(Key key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  order_.erase(it->second.pos);
+  entries_.erase(it);
+}
+
+std::vector<Key> FusionTable::ExportOrder() const {
+  return {order_.begin(), order_.end()};
+}
+
+void FusionTable::Restore(const std::unordered_map<Key, NodeId>& entries,
+                          const std::vector<Key>& order) {
+  entries_.clear();
+  order_.clear();
+  for (Key key : order) {
+    order_.push_back(key);
+    entries_[key] = Entry{entries.at(key), std::prev(order_.end())};
+  }
+}
+
+uint64_t FusionTable::Checksum() const {
+  uint64_t sum = 0;
+  for (const auto& [key, entry] : entries_) {
+    sum ^= Mix64(Mix64(key) ^ static_cast<uint64_t>(entry.node + 7));
+  }
+  return sum;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,409 @@
+#include "core/hermes_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hermes::core {
+namespace {
+
+using routing::Access;
+using routing::RoutedTxn;
+using routing::RoutePlan;
+
+/// Sorted, deduplicated copy of a key list.
+std::vector<Key> SortedUnique(const std::vector<Key>& keys) {
+  std::vector<Key> out = keys;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+HermesRouter::HermesRouter(partition::OwnershipMap* ownership,
+                           const CostModel* costs, int num_nodes,
+                           const HermesConfig& config)
+    : Router(ownership, costs, num_nodes),
+      config_(config),
+      fusion_table_(config.fusion_table_capacity, config.eviction_policy) {}
+
+RoutePlan HermesRouter::RouteBatch(const Batch& batch) {
+  RoutePlan plan;
+  plan.routing_cost_us = AnalysisCost(batch.txns.size());
+  plan.txns.reserve(batch.txns.size());
+
+  // Special transactions (provisioning markers, chunk migrations) are
+  // barriers: regular transactions are reordered only within the runs
+  // between them, preserving the relative order the total-order protocol
+  // fixed for cluster-topology changes.
+  std::vector<const TxnRequest*> segment;
+  for (const TxnRequest& txn : batch.txns) {
+    if (txn.kind == TxnKind::kRegular) {
+      segment.push_back(&txn);
+      continue;
+    }
+    RouteSegment(segment, &plan.txns);
+    segment.clear();
+    if (txn.kind == TxnKind::kChunkMigration) {
+      plan.txns.push_back(PlanChunkMigration(txn));
+    } else {
+      plan.txns.push_back(PlanProvisioning(txn));
+    }
+  }
+  RouteSegment(segment, &plan.txns);
+  return plan;
+}
+
+void HermesRouter::RouteSegment(const std::vector<const TxnRequest*>& txns,
+                                std::vector<RoutedTxn>* out) {
+  const size_t b = txns.size();
+  if (b == 0) return;
+  const int n = num_active_nodes();
+  assert(n > 0);
+
+  // Dense index over active nodes (active_nodes_ is sorted ascending).
+  std::unordered_map<NodeId, int> node_index;
+  for (int i = 0; i < n; ++i) node_index[active_nodes_[i]] = i;
+
+  // ---- Step 1: order and route requests by minimizing remote reads. ----
+  struct Cand {
+    std::vector<Key> reads;
+    std::vector<Key> writes;
+    std::vector<int> read_cnt;   // local read-set keys per active node
+    std::vector<int> write_cnt;  // local write-set keys per active node
+    int best_idx = 0;
+    int best_remote = 0;
+    bool placed = false;
+  };
+  std::vector<Cand> cands(b);
+
+  // Placements made so far in this segment (write keys follow their route).
+  std::unordered_map<Key, NodeId> view;
+  auto view_owner = [&](Key k) -> NodeId {
+    auto it = view.find(k);
+    return it != view.end() ? it->second : ownership_->Owner(k);
+  };
+
+  std::unordered_map<Key, std::vector<int>> readers_of;
+  std::unordered_map<Key, std::vector<int>> writers_of;
+
+  auto compute_best = [&](Cand& c) {
+    int best_idx = 0;
+    int best_remote = static_cast<int>(c.reads.size()) + 1;
+    int best_wlocal = -1;
+    for (int i = 0; i < n; ++i) {
+      const int remote = static_cast<int>(c.reads.size()) - c.read_cnt[i];
+      const int wlocal = c.write_cnt[i];
+      // Ties: prefer more local write keys, then the lower node id (scan
+      // order is ascending node id, so strict improvement keeps it).
+      if (remote < best_remote ||
+          (remote == best_remote && wlocal > best_wlocal)) {
+        best_remote = remote;
+        best_wlocal = wlocal;
+        best_idx = i;
+      }
+    }
+    c.best_idx = best_idx;
+    c.best_remote = best_remote;
+  };
+
+  for (size_t j = 0; j < b; ++j) {
+    Cand& c = cands[j];
+    c.reads = SortedUnique(txns[j]->read_set);
+    c.writes = SortedUnique(txns[j]->write_set);
+    c.read_cnt.assign(n, 0);
+    c.write_cnt.assign(n, 0);
+    for (Key k : c.reads) {
+      readers_of[k].push_back(static_cast<int>(j));
+      auto it = node_index.find(view_owner(k));
+      if (it != node_index.end()) ++c.read_cnt[it->second];
+    }
+    for (Key k : c.writes) {
+      writers_of[k].push_back(static_cast<int>(j));
+      auto it = node_index.find(view_owner(k));
+      if (it != node_index.end()) ++c.write_cnt[it->second];
+    }
+    compute_best(c);
+  }
+
+  std::vector<int> order;      // candidate index by position in B'
+  std::vector<NodeId> route;   // route by candidate index
+  order.reserve(b);
+  route.assign(b, kInvalidNode);
+
+  for (size_t step = 0; step < b; ++step) {
+    // Pick the unplaced candidate with the fewest remote reads; ties go to
+    // the earliest submission (stable, deterministic). With reordering
+    // ablated, transactions are placed in sequencer order.
+    int pick = -1;
+    if (config_.enable_reorder) {
+      for (size_t j = 0; j < b; ++j) {
+        if (cands[j].placed) continue;
+        if (pick < 0 || cands[j].best_remote < cands[pick].best_remote) {
+          pick = static_cast<int>(j);
+        }
+      }
+    } else {
+      pick = static_cast<int>(step);
+    }
+    Cand& c = cands[pick];
+    c.placed = true;
+    const NodeId x = active_nodes_[c.best_idx];
+    route[pick] = x;
+    order.push_back(pick);
+
+    // Data fusion: the write-set keys of the placed transaction move to
+    // its route, which re-scores transactions that touch those keys.
+    for (Key k : c.writes) {
+      const NodeId old_owner = view_owner(k);
+      if (old_owner == x) continue;
+      view[k] = x;
+      const auto old_it = node_index.find(old_owner);
+      const int old_idx = old_it == node_index.end() ? -1 : old_it->second;
+      const int new_idx = c.best_idx;
+      for (int r : readers_of[k]) {
+        if (cands[r].placed) continue;
+        if (old_idx >= 0) --cands[r].read_cnt[old_idx];
+        ++cands[r].read_cnt[new_idx];
+        compute_best(cands[r]);
+      }
+      for (int w : writers_of[k]) {
+        if (cands[w].placed) continue;
+        if (old_idx >= 0) --cands[w].write_cnt[old_idx];
+        ++cands[w].write_cnt[new_idx];
+        compute_best(cands[w]);
+      }
+    }
+  }
+
+  // ---- Step 2: loads, threshold, overloaded / underloaded sets. ----
+  // theta = ceil(b/n * (1 + alpha)); the ceiling guarantees the trivial
+  // even split is always feasible.
+  const auto theta = static_cast<int64_t>(
+      std::ceil(static_cast<double>(b) / n * (1.0 + config_.alpha)));
+  std::vector<int64_t> load(n, 0);
+  for (size_t j = 0; j < b; ++j) ++load[node_index[route[j]]];
+
+  auto overloaded = [&](int idx) { return load[idx] > theta; };
+  auto underloaded = [&](int idx) { return load[idx] < theta; };
+  bool any_over = false;
+  for (int i = 0; i < n; ++i) any_over |= overloaded(i);
+
+  // ---- Step 3: backward rerouting off overloaded nodes. ----
+  if (any_over && config_.enable_rebalance) {
+    // Reader / writer positions per key, in B' position order.
+    std::unordered_map<Key, std::vector<int>> pos_readers;
+    std::unordered_map<Key, std::vector<int>> pos_writers;
+    for (size_t p = 0; p < b; ++p) {
+      const Cand& c = cands[order[p]];
+      for (Key k : c.reads) pos_readers[k].push_back(static_cast<int>(p));
+      for (Key k : c.writes) pos_writers[k].push_back(static_cast<int>(p));
+    }
+    auto owner_at = [&](int pos, Key k) -> NodeId {
+      // Placement of k just before position pos: latest earlier writer's
+      // route, else the pre-batch owner.
+      auto it = pos_writers.find(k);
+      if (it != pos_writers.end()) {
+        const auto& ws = it->second;
+        auto lb = std::lower_bound(ws.begin(), ws.end(), pos);
+        if (lb != ws.begin()) return route[order[*std::prev(lb)]];
+      }
+      return ownership_->Owner(k);
+    };
+    // Extra remote edges if the txn at `pos` moved from its route to `to`.
+    auto added_edges = [&](int pos, NodeId to) -> int {
+      const int j = order[pos];
+      const NodeId from = route[j];
+      int added = 0;
+      for (Key k : cands[j].reads) {
+        const NodeId at = owner_at(pos, k);
+        added += static_cast<int>(at != to) - static_cast<int>(at != from);
+      }
+      for (Key k : cands[j].writes) {
+        const auto& ws = pos_writers[k];
+        auto self = std::upper_bound(ws.begin(), ws.end(), pos);
+        const int limit = self == ws.end() ? static_cast<int>(b) : *self;
+        auto rit = pos_readers.find(k);
+        if (rit == pos_readers.end()) continue;
+        for (int q : rit->second) {
+          if (q <= pos) continue;
+          if (q > limit) break;
+          const NodeId rq = route[order[q]];
+          added += static_cast<int>(rq != to) - static_cast<int>(rq != from);
+        }
+      }
+      return added;
+    };
+
+    for (int delta = 1; delta <= config_.max_delta; ++delta) {
+      bool still_over = false;
+      for (int step = 0; step < static_cast<int>(b); ++step) {
+        const int p = config_.backward_pass ? static_cast<int>(b) - 1 - step
+                                            : step;
+        const int j = order[p];
+        const int from_idx = node_index[route[j]];
+        if (!overloaded(from_idx)) continue;
+        int best_cost = 0;
+        int best_u = -1;
+        for (int u = 0; u < n; ++u) {
+          if (!underloaded(u)) continue;
+          const int cost = added_edges(p, active_nodes_[u]);
+          if (best_u < 0 || cost < best_cost) {
+            best_u = u;
+            best_cost = cost;
+          }
+        }
+        if (best_u >= 0 && best_cost <= delta) {
+          --load[from_idx];
+          ++load[best_u];
+          route[j] = active_nodes_[best_u];
+          ++stats_.reroutes;
+        }
+      }
+      for (int i = 0; i < n; ++i) still_over |= overloaded(i);
+      if (!still_over) break;
+    }
+  }
+
+  // ---- Final pass: materialize plans against the live ownership map. ----
+  for (size_t p = 0; p < b; ++p) {
+    const int j = order[p];
+    if (j != static_cast<int>(p)) ++stats_.reorders;
+    out->push_back(Materialize(*txns[j], route[j]));
+  }
+}
+
+RoutedTxn HermesRouter::Materialize(const TxnRequest& txn, NodeId x) {
+  RoutedTxn rt;
+  rt.txn = txn;
+  rt.masters = {x};
+  ++stats_.routed_txns;
+
+  const auto merged = MergedAccessSet(txn);
+  rt.accesses.reserve(merged.size());
+  for (const auto& [k, is_write] : merged) {
+    const NodeId cur = ownership_->Owner(k);
+    Access a;
+    a.key = k;
+    a.owner = cur;
+    a.is_write = is_write;
+    a.ship_to_master = (cur != x);
+    if (is_write && cur != x) {
+      a.new_owner = x;
+      ++stats_.migrations;
+    }
+    if (a.ship_to_master) ++stats_.remote_reads;
+    rt.accesses.push_back(a);
+  }
+
+  // Fusion-table maintenance: write keys now live at the route (entries
+  // exist only for keys away from home); read hits refresh LRU recency.
+  // The transaction's own write keys are pinned against eviction — they
+  // are mid-migration to the master and cannot also ship home.
+  std::unordered_set<Key> pinned;
+  for (const auto& [k, is_write] : merged) {
+    if (is_write) pinned.insert(k);
+  }
+  std::vector<Key> evicted;
+  for (const auto& [k, is_write] : merged) {
+    if (!is_write) {
+      fusion_table_.Lookup(k, /*touch=*/true);
+      continue;
+    }
+    if (ownership_->Home(k) == x) {
+      fusion_table_.Erase(k);
+      ownership_->ClearKeyOwner(k);
+    } else {
+      fusion_table_.PutPinned(k, x, pinned, &evicted);
+      ownership_->SetKeyOwner(k, x);
+    }
+  }
+
+  // Evicted keys migrate back home, appended to this transaction's plan
+  // (§4.1); the client-visible commit does not wait for these shipments.
+  for (Key ev : evicted) {
+    ++stats_.evictions;
+    const NodeId cur = ownership_->Owner(ev);
+    const NodeId home = ownership_->Home(ev);
+    ownership_->ClearKeyOwner(ev);
+    if (cur == home) continue;
+    Access a;
+    a.key = ev;
+    a.owner = cur;
+    a.is_write = true;
+    a.ship_to_master = false;
+    a.new_owner = home;
+    rt.accesses.push_back(a);
+    ++stats_.migrations;
+  }
+  return rt;
+}
+
+RoutedTxn HermesRouter::PlanChunkMigration(const TxnRequest& txn) {
+  RoutedTxn rt;
+  rt.txn = txn;
+  const NodeId dst = txn.migration_target;
+  rt.masters = {dst};
+  Key lo = 0, hi = 0;
+  bool first = true;
+  for (Key k : txn.write_set) {
+    if (first) {
+      lo = hi = k;
+      first = false;
+    } else {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+    // Hot keys tracked by the fusion table are skipped: they keep moving
+    // with normal traffic and the chunk transaction never touches them,
+    // so cold migration does not interfere with hot-data access (§3.3).
+    if (fusion_table_.Peek(k).has_value()) continue;
+    const NodeId cur = ownership_->Owner(k);
+    if (cur == dst) continue;
+    rt.accesses.push_back(Access{k, cur, /*is_write=*/true,
+                                 /*ship_to_master=*/true,
+                                 /*new_owner=*/dst});
+  }
+  if (!first) ownership_->SetRangeOwner(lo, hi, dst);
+  return rt;
+}
+
+RoutedTxn HermesRouter::PlanProvisioning(const TxnRequest& txn) {
+  RoutedTxn rt;
+  rt.txn = txn;
+  rt.masters = {active_nodes_.empty() ? 0 : active_nodes_.front()};
+  if (txn.kind == TxnKind::kAddNode) {
+    OnAddNode(txn.migration_target);
+    return rt;
+  }
+  // Removal: hot records on the leaving node are re-homed via data fusion
+  // — each fusion entry pointing at the leaver ships to the node that will
+  // own its range (from the marker's range plan), or its current home.
+  const NodeId leaver = txn.migration_target;
+  auto dest_for = [&](Key k) -> NodeId {
+    for (const auto& mv : txn.range_moves) {
+      if (k >= mv.lo && k <= mv.hi) return mv.target;
+    }
+    return ownership_->Home(k);
+  };
+  for (Key k : fusion_table_.ExportOrder()) {
+    if (fusion_table_.Peek(k) != leaver) continue;
+    const NodeId dest = dest_for(k);
+    fusion_table_.Erase(k);
+    if (dest == leaver) continue;
+    ownership_->SetKeyOwner(k, dest);
+    rt.accesses.push_back(Access{k, leaver, /*is_write=*/true,
+                                 /*ship_to_master=*/false,
+                                 /*new_owner=*/dest});
+    ++stats_.migrations;
+  }
+  OnRemoveNode(leaver);
+  return rt;
+}
+
+void HermesRouter::OnRemoveNode(NodeId node) { Router::OnRemoveNode(node); }
+
+}  // namespace hermes::core

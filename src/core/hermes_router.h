@@ -1,0 +1,85 @@
+#ifndef HERMES_CORE_HERMES_ROUTER_H_
+#define HERMES_CORE_HERMES_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/fusion_table.h"
+#include "routing/router.h"
+
+namespace hermes::core {
+
+/// The prescient transaction routing algorithm (paper §3.2, Algorithm 1)
+/// plus fusion-table maintenance (§3.1, §4.1) and provisioning support
+/// (§3.3).
+///
+/// Per batch:
+///  1. Greedily reorders and routes transactions, picking at each step the
+///     (transaction, node) pair with the fewest remote read-set records
+///     under the evolving placement P_i (write-set keys move to the chosen
+///     route — data fusion).
+///  2. Computes theta = ceil(b/n * (1+alpha)) and the overloaded /
+///     underloaded node sets.
+///  3. Walks the reordered batch backward, rerouting transactions off
+///     overloaded nodes when the move adds at most delta remote edges
+///     (the txn's own remote reads plus reads of its write-set by later
+///     transactions not on the new node), relaxing delta until the load
+///     constraint holds.
+///
+/// Determinism: all ties break on (fewest remote reads, most local write
+/// keys, lowest node id) and candidate scans use original batch order, so
+/// every scheduler replica computes the identical plan.
+class HermesRouter : public routing::Router {
+ public:
+  HermesRouter(partition::OwnershipMap* ownership, const CostModel* costs,
+               int num_nodes, const HermesConfig& config);
+
+  routing::RoutePlan RouteBatch(const Batch& batch) override;
+  std::string name() const override { return "hermes"; }
+
+  void OnRemoveNode(NodeId node) override;
+
+  const FusionTable& fusion_table() const { return fusion_table_; }
+  FusionTable& mutable_fusion_table() { return fusion_table_; }
+
+  /// Cumulative counters for tests and benches.
+  struct Stats {
+    uint64_t routed_txns = 0;
+    uint64_t remote_reads = 0;   ///< accesses shipped to a remote master
+    uint64_t migrations = 0;     ///< records that changed owner
+    uint64_t evictions = 0;      ///< fusion-table evictions
+    uint64_t reroutes = 0;       ///< step-3 load-balancing moves
+    uint64_t reorders = 0;       ///< txns whose position changed in step 1
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Routes one run of regular transactions (special transactions act as
+  /// segment barriers) and appends the plans.
+  void RouteSegment(const std::vector<const TxnRequest*>& txns,
+                    std::vector<routing::RoutedTxn>* out);
+
+  /// Materializes the plan for one placed transaction against the live
+  /// ownership map and applies its fusion-table updates (including
+  /// evictions, which append extra migration accesses).
+  routing::RoutedTxn Materialize(const TxnRequest& txn, NodeId route);
+
+  /// Chunk migrations ship cold records to the target and re-home the
+  /// chunk's range; keys currently in the fusion table are skipped (§3.3).
+  routing::RoutedTxn PlanChunkMigration(const TxnRequest& txn);
+
+  /// Provisioning markers: adjusts the active set; on removal, evicts
+  /// every fusion entry on the leaving node so its hot records migrate
+  /// out with normal traffic.
+  routing::RoutedTxn PlanProvisioning(const TxnRequest& txn);
+
+  HermesConfig config_;
+  FusionTable fusion_table_;
+  Stats stats_;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_HERMES_ROUTER_H_

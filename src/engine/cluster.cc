@@ -1,0 +1,370 @@
+#include "engine/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/rng.h"
+#include "routing/calvin_router.h"
+#include "routing/gstore_router.h"
+#include "routing/leap_router.h"
+#include "routing/tpart_router.h"
+
+namespace hermes::engine {
+namespace {
+
+std::unique_ptr<routing::Router> MakeRouter(
+    RouterKind kind, partition::OwnershipMap* ownership,
+    const ClusterConfig& config) {
+  switch (kind) {
+    case RouterKind::kCalvin:
+      return std::make_unique<routing::CalvinRouter>(ownership, &config.costs,
+                                                     config.num_nodes);
+    case RouterKind::kGStore:
+      return std::make_unique<routing::GStoreRouter>(ownership, &config.costs,
+                                                     config.num_nodes);
+    case RouterKind::kLeap:
+      return std::make_unique<routing::LeapRouter>(ownership, &config.costs,
+                                                   config.num_nodes);
+    case RouterKind::kTPart:
+      return std::make_unique<routing::TPartRouter>(
+          ownership, &config.costs, config.num_nodes, config.hermes.alpha);
+    case RouterKind::kHermes:
+      return std::make_unique<core::HermesRouter>(ownership, &config.costs,
+                                                  config.num_nodes,
+                                                  config.hermes);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
+                 std::unique_ptr<partition::PartitionMap> initial_partitioning)
+    : config_(config),
+      kind_(kind),
+      metrics_(SecToSim(1)),
+      net_(&sim_, &config_.costs, config.num_nodes),
+      ownership_(std::move(initial_partitioning)),
+      router_(MakeRouter(kind, &ownership_, config_)),
+      executor_(&sim_, &net_, &metrics_, &config_.costs, &nodes_),
+      sequencer_(&sim_, &config_,
+                 [this](Batch&& batch) { OnBatchSequenced(std::move(batch)); }),
+      scheduler_(&sim_, router_.get(), &executor_, &command_log_, &config_,
+                 [this](const TxnRequest& txn) { return ResolveCallback(txn); }) {
+  nodes_.reserve(config_.num_nodes);
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(i, &sim_, config_.workers_per_node));
+  }
+}
+
+void Cluster::Load() {
+  for (Key k = 0; k < config_.num_records; ++k) {
+    const NodeId owner = ownership_.Owner(k);
+    assert(owner >= 0 && owner < num_nodes());
+    storage::Record record;
+    record.value = Mix64(k);
+    nodes_[owner]->store().Insert(k, record);
+  }
+}
+
+void Cluster::Submit(TxnRequest txn, TxnExecutor::CommitCallback on_commit) {
+  txn.submit_time = sim_.Now();
+  if (txn.requires_reconnaissance && txn.kind == TxnKind::kRegular) {
+    SubmitWithReconnaissance(std::move(txn), std::move(on_commit));
+    return;
+  }
+  SubmitSequenced(std::move(txn), std::move(on_commit));
+}
+
+void Cluster::SubmitSequenced(TxnRequest txn,
+                              TxnExecutor::CommitCallback on_commit) {
+  // One network hop from the client to its sequencer.
+  sim_.Schedule(config_.costs.net_latency_us,
+                [this, txn = std::move(txn),
+                 cb = std::move(on_commit)]() mutable {
+                  const TxnId id = sequencer_.next_txn_id();
+                  sequencer_.Submit(std::move(txn));
+                  if (cb) pending_callbacks_[id] = std::move(cb);
+                });
+}
+
+void Cluster::SubmitWithReconnaissance(
+    TxnRequest txn, TxnExecutor::CommitCallback on_commit) {
+  // OLLP (§2.1): a low-isolation reconnaissance read against the current
+  // owners of the read-set discovers the lock locations before the
+  // transaction enters the total order. The probe costs one network round
+  // trip plus real storage work on every probed node.
+  ++ollp_recons_;
+  if (ollp_rng_ == nullptr) {
+    ollp_rng_ = std::make_unique<Rng>(Mix64(config_.seed ^ 0x011f0llu));
+  }
+  std::map<NodeId, size_t> probed;
+  for (Key k : txn.read_set) ++probed[ownership_.Owner(k)];
+  SimTime max_probe = 0;
+  for (const auto& [node, keys] : probed) {
+    const SimTime start = nodes_[node]->workers().Submit(
+        config_.costs.storage_op_us * keys, [] {});
+    max_probe = std::max(max_probe,
+                         start + config_.costs.storage_op_us * keys -
+                             sim_.Now());
+  }
+  const bool stale = ollp_rng_->NextDouble() < config_.ollp_stale_prob;
+  const SimTime probe_done = 2 * config_.costs.net_latency_us + max_probe;
+  sim_.Schedule(probe_done, [this, txn = std::move(txn),
+                             cb = std::move(on_commit), stale]() mutable {
+    txn.requires_reconnaissance = false;
+    if (!stale) {
+      SubmitSequenced(std::move(txn), std::move(cb));
+      return;
+    }
+    // Stale prediction: the first attempt deterministically aborts (it
+    // still executes and migrates per plan), then the corrected request
+    // is resubmitted and its commit completes the client's call.
+    ++ollp_retries_;
+    TxnRequest first = txn;
+    first.user_abort = true;
+    SubmitSequenced(std::move(first),
+                    [this, txn = std::move(txn),
+                     cb = std::move(cb)](const TxnResult&) mutable {
+                      SubmitSequenced(std::move(txn), std::move(cb));
+                    });
+  });
+}
+
+void Cluster::OnBatchSequenced(Batch&& batch) {
+  if (batch_tap_) batch_tap_(batch);
+  if (clay_) {
+    for (const TxnRequest& txn : batch.txns) {
+      if (txn.kind == TxnKind::kRegular) clay_->Observe(txn);
+    }
+  }
+  scheduler_.OnBatch(std::move(batch));
+}
+
+void Cluster::InjectBatch(const Batch& batch) {
+  Batch copy = batch;
+  scheduler_.OnBatch(std::move(copy));
+}
+
+TxnExecutor::CommitCallback Cluster::ResolveCallback(const TxnRequest& txn) {
+  auto it = pending_callbacks_.find(txn.id);
+  if (it == pending_callbacks_.end()) return nullptr;
+  TxnExecutor::CommitCallback cb = std::move(it->second);
+  pending_callbacks_.erase(it);
+  return cb;
+}
+
+void Cluster::SampleWindow() {
+  const SimTime stamp = sim_.Now() == 0 ? 0 : sim_.Now() - 1;
+  uint64_t busy = 0;
+  for (auto& node : nodes_) busy += node->workers().TakeBusyDelta();
+  metrics_.RecordBusy(stamp, busy);
+  static_assert(sizeof(uint64_t) == 8);
+  const uint64_t total = net_.total_bytes();
+  metrics_.RecordNetBytes(stamp, total - sampled_net_bytes_);
+  sampled_net_bytes_ = total;
+}
+
+void Cluster::RunUntil(SimTime deadline) {
+  const SimTime window = metrics_.window_us();
+  while (sim_.Now() < deadline) {
+    const SimTime next = std::min(deadline, ((sim_.Now() / window) + 1) * window);
+    sim_.RunUntil(next);
+    if (clay_) {
+      const auto plan =
+          clay_->MaybePlan(sim_.Now(), router_->num_active_nodes());
+      if (!plan.empty()) SubmitMigrationPlan(plan, /*replace_pending=*/true);
+    }
+    SampleWindow();
+  }
+}
+
+SimTime Cluster::Drain() {
+  sim_.RunAll();
+  SampleWindow();
+  return sim_.Now();
+}
+
+TxnRequest Cluster::MakeChunkTxn(Key lo, Key hi, NodeId target) const {
+  TxnRequest txn;
+  txn.kind = TxnKind::kChunkMigration;
+  txn.migration_target = target;
+  txn.write_set.reserve(hi - lo + 1);
+  for (Key k = lo; k <= hi; ++k) txn.write_set.push_back(k);
+  return txn;
+}
+
+void Cluster::SubmitMigrationPlan(
+    const std::vector<routing::ClumpMove>& moves, bool replace_pending) {
+  if (replace_pending) chunk_queue_.clear();
+  const uint64_t chunk = std::max<uint64_t>(config_.migration_chunk_records, 1);
+  for (const routing::ClumpMove& mv : moves) {
+    for (Key lo = mv.lo; lo <= mv.hi;) {
+      const Key hi = std::min(mv.hi, lo + chunk - 1);
+      chunk_queue_.push_back(MakeChunkTxn(lo, hi, mv.target));
+      if (hi == mv.hi) break;
+      lo = hi + 1;
+    }
+  }
+  SubmitNextChunk();
+}
+
+void Cluster::SubmitNextChunk() {
+  if (chunk_in_flight_ || chunk_queue_.empty()) return;
+  chunk_in_flight_ = true;
+  TxnRequest txn = std::move(chunk_queue_.front());
+  chunk_queue_.pop_front();
+  Submit(std::move(txn), [this](const TxnResult&) {
+    chunk_in_flight_ = false;
+    SubmitNextChunk();
+  });
+}
+
+void Cluster::EnableClay(const routing::ClayConfig& clay_config) {
+  clay_config_ = clay_config;
+  clay_ = std::make_unique<routing::ClayPlanner>(
+      &ownership_, config_.num_records, clay_config);
+}
+
+NodeId Cluster::AddNode(const std::vector<RangeMove>& cold_plan,
+                        bool migrate_cold) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, &sim_, config_.workers_per_node));
+  net_.EnsureCapacity(id + 1);
+
+  TxnRequest marker;
+  marker.kind = TxnKind::kAddNode;
+  marker.migration_target = id;
+  marker.range_moves = cold_plan;
+  Submit(std::move(marker));
+
+  if (migrate_cold) {
+    std::vector<routing::ClumpMove> moves;
+    moves.reserve(cold_plan.size());
+    for (const RangeMove& mv : cold_plan) {
+      moves.push_back(routing::ClumpMove{mv.lo, mv.hi, mv.target});
+    }
+    SubmitMigrationPlan(moves);
+  }
+  return id;
+}
+
+void Cluster::RemoveNode(NodeId node, const std::vector<RangeMove>& cold_plan,
+                         bool migrate_cold) {
+  TxnRequest marker;
+  marker.kind = TxnKind::kRemoveNode;
+  marker.migration_target = node;
+  marker.range_moves = cold_plan;
+  Submit(std::move(marker));
+
+  if (migrate_cold) {
+    std::vector<routing::ClumpMove> moves;
+    moves.reserve(cold_plan.size());
+    for (const RangeMove& mv : cold_plan) {
+      moves.push_back(routing::ClumpMove{mv.lo, mv.hi, mv.target});
+    }
+    SubmitMigrationPlan(moves);
+  }
+}
+
+storage::Checkpoint Cluster::TakeCheckpoint() const {
+  assert(executor_.inflight() == 0 && sequencer_.pending() == 0 &&
+         "checkpoints must be taken at quiescence");
+  storage::Checkpoint cp;
+  cp.next_batch = sequencer_.next_batch_id();
+  cp.next_txn_id = sequencer_.next_txn_id();
+  cp.stores.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    cp.stores.push_back(node->store().records());
+  }
+  cp.ownership_overlay = ownership_.key_overlay();
+  cp.intervals = ownership_.ExportIntervals();
+  cp.active_nodes = router_->active_nodes();
+  if (kind_ == RouterKind::kHermes) {
+    cp.fusion_order =
+        static_cast<const core::HermesRouter*>(router_.get())
+            ->fusion_table()
+            .ExportOrder();
+  }
+  return cp;
+}
+
+void Cluster::RestoreFromCheckpoint(const storage::Checkpoint& checkpoint) {
+  while (nodes_.size() < checkpoint.stores.size()) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(
+        std::make_unique<Node>(id, &sim_, config_.workers_per_node));
+  }
+  net_.EnsureCapacity(static_cast<int>(nodes_.size()));
+  for (size_t i = 0; i < checkpoint.stores.size(); ++i) {
+    for (const auto& [key, record] : checkpoint.stores[i]) {
+      nodes_[i]->store().Insert(key, record);
+    }
+  }
+  ownership_.RestoreKeyOverlay(checkpoint.ownership_overlay);
+  ownership_.RestoreIntervals(checkpoint.intervals);
+  router_->RestoreActiveNodes(checkpoint.active_nodes);
+  if (kind_ == RouterKind::kHermes) {
+    static_cast<core::HermesRouter*>(router_.get())
+        ->mutable_fusion_table()
+        .Restore(checkpoint.ownership_overlay, checkpoint.fusion_order);
+  }
+  sequencer_.RestoreCounters(checkpoint.next_batch, checkpoint.next_txn_id);
+}
+
+void Cluster::ReplayBatches(const std::vector<Batch>& batches) {
+  replaying_ = true;
+  for (const Batch& batch : batches) {
+    // Physical nodes referenced by provisioning markers must exist before
+    // the marker is routed.
+    for (const TxnRequest& txn : batch.txns) {
+      if (txn.kind == TxnKind::kAddNode &&
+          txn.migration_target >= num_nodes()) {
+        while (num_nodes() <= txn.migration_target) {
+          const NodeId id = static_cast<NodeId>(nodes_.size());
+          nodes_.push_back(
+              std::make_unique<Node>(id, &sim_, config_.workers_per_node));
+        }
+        net_.EnsureCapacity(num_nodes());
+      }
+    }
+    Batch copy = batch;
+    scheduler_.OnBatch(std::move(copy));
+    sim_.RunAll();
+  }
+  replaying_ = false;
+}
+
+uint64_t Cluster::StateChecksum() const {
+  uint64_t sum = 0;
+  for (size_t node = 0; node < nodes_.size(); ++node) {
+    for (const auto& [key, r] : nodes_[node]->store().records()) {
+      sum ^= Mix64(Mix64(key) ^ r.value ^
+                   (static_cast<uint64_t>(r.version) << 32) ^
+                   Mix64(node + 1));
+    }
+  }
+  return sum;
+}
+
+uint64_t Cluster::ContentChecksum() const {
+  uint64_t sum = 0;
+  for (const auto& node : nodes_) sum ^= node->store().Checksum();
+  return sum;
+}
+
+int Cluster::total_workers() const {
+  int total = 0;
+  for (const auto& node : nodes_) total += node->workers().num_workers();
+  return total;
+}
+
+const core::FusionTable* Cluster::fusion_table() const {
+  if (kind_ != RouterKind::kHermes) return nullptr;
+  return &static_cast<const core::HermesRouter*>(router_.get())
+              ->fusion_table();
+}
+
+}  // namespace hermes::engine

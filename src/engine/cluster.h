@@ -1,0 +1,217 @@
+#ifndef HERMES_ENGINE_CLUSTER_H_
+#define HERMES_ENGINE_CLUSTER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/fusion_table.h"
+#include "core/hermes_router.h"
+#include "engine/executor.h"
+#include "engine/metrics.h"
+#include "engine/node.h"
+#include "engine/scheduler.h"
+#include "engine/sequencer.h"
+#include "partition/partition_map.h"
+#include "routing/clay_planner.h"
+#include "routing/router.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/checkpoint.h"
+#include "storage/command_log.h"
+
+namespace hermes::engine {
+
+/// Which transaction-routing algorithm the cluster runs.
+enum class RouterKind {
+  kCalvin,  ///< multi-master, static partitions (baseline system)
+  kGStore,  ///< look-present grouping with write-back on commit
+  kLeap,    ///< look-present migrate-to-master, no balancing
+  kTPart,   ///< routing-only with forward pushing and write-back
+  kHermes,  ///< prescient routing + fusion table (this paper)
+};
+
+/// The public facade of the library: a full deterministic database
+/// cluster — sequencer, scheduler replicas running a routing algorithm,
+/// per-node storage/lock/executor stacks — driven by a discrete-event
+/// simulation. Typical use:
+///
+///   ClusterConfig config;
+///   config.num_nodes = 4;
+///   Cluster cluster(config, RouterKind::kHermes,
+///                   std::make_unique<partition::RangePartitionMap>(
+///                       config.num_records, config.num_nodes));
+///   cluster.Load();
+///   cluster.Submit(txn, [](const TxnResult& r) { ... });
+///   cluster.RunUntil(SecToSim(60));
+class Cluster {
+ public:
+  Cluster(const ClusterConfig& config, RouterKind kind,
+          std::unique_ptr<partition::PartitionMap> initial_partitioning);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Populates every record at its home partition. Call once before
+  /// submitting transactions (skip when restoring from a checkpoint).
+  void Load();
+
+  /// Submits a client request: it reaches its sequencer one network hop
+  /// from now; `on_commit` fires when the client receives the result.
+  ///
+  /// Requests with `requires_reconnaissance` first run an OLLP
+  /// reconnaissance read against the owners of their read-set (charged as
+  /// real work on those nodes) before being sequenced; a stale prediction
+  /// (probability config.ollp_stale_prob) deterministically aborts the
+  /// first attempt and retries once, as in Calvin.
+  void Submit(TxnRequest txn,
+              TxnExecutor::CommitCallback on_commit = nullptr);
+
+  uint64_t ollp_reconnaissance_count() const { return ollp_recons_; }
+  uint64_t ollp_retry_count() const { return ollp_retries_; }
+
+  // --- Replication hooks (used by engine::ReplicaGroup). ---
+
+  /// Called with every batch the moment it is totally ordered; a replica
+  /// group taps this to fan batches out to standby replicas.
+  void set_batch_tap(std::function<void(const Batch&)> tap) {
+    batch_tap_ = std::move(tap);
+  }
+
+  /// Feeds an externally sequenced batch directly to this cluster's
+  /// scheduler (standby replicas replay the primary's input stream).
+  void InjectBatch(const Batch& batch);
+
+  /// Continues the total order from external counters (a promoted standby
+  /// picks up where the failed primary stopped).
+  void RestoreSequencerCounters(BatchId next_batch, TxnId next_txn) {
+    sequencer_.RestoreCounters(next_batch, next_txn);
+  }
+
+  /// Advances simulated time to `deadline`, sampling resource metrics
+  /// every metrics window.
+  void RunUntil(SimTime deadline);
+
+  /// Runs until no simulated work remains (requires clients to stop
+  /// submitting). Returns the drain completion time.
+  SimTime Drain();
+
+  SimTime Now() const { return sim_.Now(); }
+
+  // --- Dynamic machine provisioning (§3.3). ---
+
+  /// Adds a node. `cold_plan` re-homes ranges onto the new node; when
+  /// `migrate_cold` is true the ranges move via chunk-migration
+  /// transactions (Squall-style), otherwise only hot data moves via the
+  /// fusion table.
+  NodeId AddNode(const std::vector<RangeMove>& cold_plan, bool migrate_cold);
+
+  /// Removes a node, re-homing its ranges per `cold_plan`.
+  void RemoveNode(NodeId node, const std::vector<RangeMove>& cold_plan,
+                  bool migrate_cold);
+
+  /// Enqueues chunk-migration transactions for `moves`, submitted one
+  /// after another (each chunk waits for the previous chunk's commit).
+  /// When `replace_pending` is set, not-yet-submitted chunks from earlier
+  /// plans are dropped first (a fresh Clay plan supersedes stale ones).
+  void SubmitMigrationPlan(const std::vector<routing::ClumpMove>& moves,
+                           bool replace_pending = false);
+
+  /// Attaches a Clay look-back planner: it observes dispatched
+  /// transactions and periodically emits migration plans which the
+  /// cluster executes via chunk transactions.
+  void EnableClay(const routing::ClayConfig& clay_config);
+
+  // --- Recovery (§4.3). ---
+
+  /// Captures a consistent checkpoint. Requires quiescence (no in-flight
+  /// transactions, empty sequencer).
+  storage::Checkpoint TakeCheckpoint() const;
+
+  /// Restores cluster state from a checkpoint (call instead of Load()).
+  void RestoreFromCheckpoint(const storage::Checkpoint& checkpoint);
+
+  /// Replays command-log batches (e.g. after RestoreFromCheckpoint) and
+  /// drains. The deterministic routing and execution reproduce the exact
+  /// pre-crash state.
+  void ReplayBatches(const std::vector<Batch>& batches);
+
+  /// Placement-sensitive checksum over all stores (replica equality).
+  uint64_t StateChecksum() const;
+
+  /// Placement-INsensitive checksum over record contents only. Two
+  /// executions that wrote the same values to the same keys match here
+  /// even if records ended up on different nodes — the serializability
+  /// tests compare this against a single-store reference execution.
+  uint64_t ContentChecksum() const;
+
+  // --- Introspection. ---
+  sim::Simulator& simulator() { return sim_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  sim::Network& network() { return net_; }
+  routing::Router& router() { return *router_; }
+  partition::OwnershipMap& ownership() { return ownership_; }
+  TxnExecutor& executor() { return executor_; }
+  const storage::CommandLog& command_log() const { return command_log_; }
+  const ClusterConfig& config() const { return config_; }
+  RouterKind kind() const { return kind_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(NodeId id) { return *nodes_[id]; }
+  /// Total executor workers across all nodes (for CPU utilization).
+  int total_workers() const;
+  /// Fusion table, or nullptr unless running the Hermes router.
+  const core::FusionTable* fusion_table() const;
+
+ private:
+  void SubmitWithReconnaissance(TxnRequest txn,
+                                TxnExecutor::CommitCallback on_commit);
+  void SubmitSequenced(TxnRequest txn,
+                       TxnExecutor::CommitCallback on_commit);
+  void OnBatchSequenced(Batch&& batch);
+  TxnExecutor::CommitCallback ResolveCallback(const TxnRequest& txn);
+  void SampleWindow();
+  void SubmitNextChunk();
+  void ArmClayTick();
+  TxnRequest MakeChunkTxn(Key lo, Key hi, NodeId target) const;
+
+  ClusterConfig config_;
+  RouterKind kind_;
+  sim::Simulator sim_;
+  Metrics metrics_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  partition::OwnershipMap ownership_;
+  std::unique_ptr<routing::Router> router_;
+  storage::CommandLog command_log_;
+  TxnExecutor executor_;
+  Sequencer sequencer_;
+  Scheduler scheduler_;
+
+  std::unordered_map<TxnId, TxnExecutor::CommitCallback> pending_callbacks_;
+
+  std::deque<TxnRequest> chunk_queue_;
+  bool chunk_in_flight_ = false;
+
+  std::unique_ptr<routing::ClayPlanner> clay_;
+  routing::ClayConfig clay_config_;
+
+  uint64_t sampled_net_bytes_ = 0;
+  bool replaying_ = false;
+
+  /// Seeded source for OLLP staleness draws (deterministic per cluster).
+  std::unique_ptr<Rng> ollp_rng_;
+  uint64_t ollp_recons_ = 0;
+  uint64_t ollp_retries_ = 0;
+
+  std::function<void(const Batch&)> batch_tap_;
+};
+
+}  // namespace hermes::engine
+
+#endif  // HERMES_ENGINE_CLUSTER_H_

@@ -1,0 +1,587 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+namespace hermes::engine {
+namespace {
+
+using routing::Access;
+using routing::RoutedTxn;
+
+std::vector<Key> SortedUnique(std::vector<Key> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+TxnExecutor::TxnExecutor(sim::Simulator* sim, sim::Network* net,
+                         Metrics* metrics, const CostModel* costs,
+                         std::vector<std::unique_ptr<Node>>* nodes)
+    : sim_(sim), net_(net), metrics_(metrics), costs_(costs), nodes_(nodes) {
+  if (const char* env = std::getenv("HERMES_TRACE_KEY")) {
+    trace_key_ = std::strtoull(env, nullptr, 10);
+  }
+}
+
+TxnExecutor::NodeState* TxnExecutor::StateFor(Active& a, NodeId node) {
+  for (auto& [id, state] : a.nodes) {
+    if (id == node) return &state;
+  }
+  return nullptr;
+}
+
+TxnExecutor::MasterState* TxnExecutor::MasterFor(Active& a, NodeId node) {
+  for (auto& m : a.masters) {
+    if (m.node == node) return &m;
+  }
+  return nullptr;
+}
+
+bool TxnExecutor::IsMaster(const Active& a, NodeId node) const {
+  for (const auto& m : a.masters) {
+    if (m.node == node) return true;
+  }
+  return false;
+}
+
+void TxnExecutor::Dispatch(const RoutedTxn& plan, CommitCallback on_commit) {
+  const TxnId id = plan.txn.id;
+  assert(!plan.masters.empty());
+  if (trace_key_ != kInvalidTxn) {
+    for (const auto& acc : plan.accesses) {
+      if (acc.key != trace_key_) continue;
+      std::fprintf(stderr,
+                   "[%llu] txn %llu dispatch key=%llu owner=%d w=%d ship=%d "
+                   "new=%d master=%d\n",
+                   static_cast<unsigned long long>(sim_->Now()),
+                   static_cast<unsigned long long>(id),
+                   static_cast<unsigned long long>(acc.key), acc.owner,
+                   acc.is_write, acc.ship_to_master, acc.new_owner,
+                   plan.masters[0]);
+    }
+  }
+  auto owned_active = std::make_unique<Active>();
+  Active& a = *owned_active;
+  a.plan = plan;
+  a.on_commit = std::move(on_commit);
+  a.dispatch_time = sim_->Now();
+  a.write_keys = SortedUnique(plan.txn.write_set);
+  for (NodeId m : plan.masters) a.masters.push_back(MasterState{m});
+
+  // Group lock requests and owned accesses per involved node. std::map
+  // keeps node order deterministic.
+  std::map<NodeId, NodeState> states;
+  const bool regular = plan.txn.kind == TxnKind::kRegular;
+  for (const Access& acc : plan.accesses) {
+    NodeState& owner_state = states[acc.owner];
+    owner_state.owned.push_back(acc);
+    owner_state.lock_requests.push_back(
+        storage::LockRequest{acc.key, acc.is_write});
+    // Migration fence: a record moving to a master that will write it is
+    // exclusively locked at the destination until commit, so transactions
+    // routed there later in the total order cannot read it early.
+    if (regular && acc.new_owner != kInvalidNode &&
+        acc.new_owner != acc.owner && IsMaster(a, acc.new_owner)) {
+      states[acc.new_owner].lock_requests.push_back(
+          storage::LockRequest{acc.key, true});
+    }
+  }
+  for (const auto& m : a.masters) states[m.node].is_master = true;
+
+  // Count expected shipments per master: one message per (source node,
+  // master) pair with at least one shipped access.
+  for (auto& [node, state] : states) {
+    std::vector<NodeId> targets;
+    for (const Access& acc : state.owned) {
+      if (!acc.ship_to_master) continue;
+      if (acc.new_owner != kInvalidNode && acc.new_owner != node &&
+          IsMaster(a, acc.new_owner)) {
+        // The migration message itself carries the value to the master.
+        targets.push_back(acc.new_owner);
+        continue;
+      }
+      // Read copy (including reads whose record migrates to a non-master,
+      // e.g. a return-migration home): one message per remote master.
+      for (const auto& m : a.masters) {
+        if (m.node != node) targets.push_back(m.node);
+      }
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    for (NodeId t : targets) {
+      MasterState* m = MasterFor(a, t);
+      if (m != nullptr) ++m->pending_messages;
+    }
+  }
+
+  a.nodes.assign(states.begin(), states.end());
+  a.distributed = a.nodes.size() > 1;
+
+  // Deduplicate lock requests per node (a key can appear as both a normal
+  // access and a fence/eviction access): exclusive wins.
+  for (auto& [node, state] : a.nodes) {
+    (void)node;
+    auto& reqs = state.lock_requests;
+    std::sort(reqs.begin(), reqs.end(),
+              [](const storage::LockRequest& x, const storage::LockRequest& y) {
+                if (x.key != y.key) return x.key < y.key;
+                return x.exclusive > y.exclusive;
+              });
+    reqs.erase(std::unique(reqs.begin(), reqs.end(),
+                           [](const storage::LockRequest& x,
+                              const storage::LockRequest& y) {
+                             return x.key == y.key;
+                           }),
+               reqs.end());
+  }
+
+  for (const auto& [node, state] : a.nodes) {
+    if (NodeWillSend(a, state, node)) ++a.participants_pending;
+  }
+
+  actives_[id] = std::move(owned_active);
+
+  // Enqueue all lock requests in total order (ascending node id within the
+  // transaction; Dispatch itself is called in total order).
+  for (auto& [node, state] : a.nodes) {
+    state.acquire_time = sim_->Now();
+    std::vector<TxnId> granted;
+    NodeAt(node).locks().Acquire(id, state.lock_requests, &granted);
+    ProcessGrants(node, granted);
+  }
+}
+
+void TxnExecutor::ProcessGrants(NodeId node,
+                                const std::vector<TxnId>& granted) {
+  for (TxnId t : granted) {
+    auto it = actives_.find(t);
+    if (it == actives_.end()) continue;
+    OnNodeGranted(*it->second, node);
+  }
+}
+
+bool TxnExecutor::NodeWillSend(const Active& a, const NodeState& state,
+                               NodeId node) const {
+  for (const Access& acc : state.owned) {
+    const bool migrates =
+        acc.new_owner != kInvalidNode && acc.new_owner != node;
+    const bool ships = acc.ship_to_master &&
+                       (a.masters.size() > 1 || a.masters[0].node != node);
+    if (migrates || ships) return true;
+  }
+  return false;
+}
+
+void TxnExecutor::OnNodeGranted(Active& a, NodeId node) {
+  NodeState* state = StateFor(a, node);
+  assert(state != nullptr && !state->granted);
+  state->granted = true;
+  state->grant_time = sim_->Now();
+
+  // Participant side: ship records once they are physically present.
+  std::vector<Key> needed;
+  for (const Access& acc : state->owned) {
+    const bool migrates =
+        acc.new_owner != kInvalidNode && acc.new_owner != node;
+    const bool ships = acc.ship_to_master &&
+                       (a.masters.size() > 1 || a.masters[0].node != node);
+    if (migrates || ships) needed.push_back(acc.key);
+  }
+  const TxnId id = a.plan.txn.id;
+  if (NodeWillSend(a, *state, node)) {
+    WaitPresence(node, SortedUnique(std::move(needed)),
+                 [this, id, node]() {
+                   auto it = actives_.find(id);
+                   if (it == actives_.end()) return;
+                   StartParticipant(*it->second, node);
+                 });
+  }
+
+  // Master side: check local presence, then readiness.
+  MasterState* m = MasterFor(a, node);
+  if (m != nullptr) {
+    std::vector<Key> local;
+    for (const Access& acc : state->owned) local.push_back(acc.key);
+    WaitPresence(node, SortedUnique(std::move(local)), [this, id, node]() {
+      auto it = actives_.find(id);
+      if (it == actives_.end()) return;
+      Active& act = *it->second;
+      MasterState* ms = MasterFor(act, node);
+      ms->local_present = true;
+      CheckMasterReady(act, *ms);
+    });
+  }
+}
+
+void TxnExecutor::StartParticipant(Active& a, NodeId node) {
+  // Local storage reads for everything this node ships, on a worker.
+  NodeState* state = StateFor(a, node);
+  size_t ops = 0;
+  for (const Access& acc : state->owned) {
+    const bool involved =
+        (acc.new_owner != kInvalidNode && acc.new_owner != node) ||
+        (acc.ship_to_master &&
+         (a.masters.size() > 1 || a.masters[0].node != node));
+    if (involved) ++ops;
+  }
+  const TxnId id = a.plan.txn.id;
+  NodeAt(node).workers().Submit(
+      costs_->storage_op_us * ops, [this, id, node]() {
+        auto it = actives_.find(id);
+        if (it == actives_.end()) return;
+        FinishParticipant(*it->second, node);
+      });
+}
+
+void TxnExecutor::FinishParticipant(Active& a, NodeId node) {
+  NodeState* state = StateFor(a, node);
+  Node& src = NodeAt(node);
+
+  // Build one message per destination: read copies to masters, record
+  // moves to their new owners. Copies are snapshotted before any move
+  // extracts the record.
+  struct Shipment {
+    std::vector<std::pair<Key, storage::Record>> moves;
+    uint64_t bytes = 0;
+    bool to_master = false;
+  };
+  std::map<NodeId, Shipment> shipments;
+
+  for (const Access& acc : state->owned) {
+    const bool migrates =
+        acc.new_owner != kInvalidNode && acc.new_owner != node;
+    const bool migrates_to_master =
+        migrates && IsMaster(a, acc.new_owner);
+    if (!acc.ship_to_master || migrates_to_master) continue;
+    // Read copy to every remote master (for records migrating to a
+    // non-master destination, the copy and the move are separate
+    // messages).
+    for (const auto& m : a.masters) {
+      if (m.node == node) continue;
+      Shipment& s = shipments[m.node];
+      s.bytes += costs_->record_bytes;
+      s.to_master = true;
+    }
+  }
+  for (const Access& acc : state->owned) {
+    const bool migrates =
+        acc.new_owner != kInvalidNode && acc.new_owner != node;
+    if (!migrates) continue;
+    auto rec = src.store().Extract(acc.key);
+    assert(rec.has_value() && "migrating a record that is not present");
+    if (trace_key_ == acc.key) {
+      std::fprintf(stderr, "[%llu] txn %llu extract key=%llu at node %d -> %d\n",
+                   static_cast<unsigned long long>(sim_->Now()),
+                   static_cast<unsigned long long>(a.plan.txn.id),
+                   static_cast<unsigned long long>(acc.key), node,
+                   acc.new_owner);
+    }
+    Shipment& s = shipments[acc.new_owner];
+    s.moves.emplace_back(acc.key, *rec);
+    s.bytes += costs_->record_bytes;
+    if (acc.ship_to_master && IsMaster(a, acc.new_owner)) s.to_master = true;
+  }
+
+  const TxnId id = a.plan.txn.id;
+  uint64_t migrated = 0;
+  for (auto& [dest, shipment] : shipments) {
+    migrated += shipment.moves.size();
+    net_->Send(node, dest, shipment.bytes,
+               [this, id, dest, moves = std::move(shipment.moves),
+                notify_master = shipment.to_master]() {
+                 for (const auto& [key, rec] : moves) {
+                   DeliverRecord(dest, key, rec);
+                 }
+                 auto it = actives_.find(id);
+                 if (it == actives_.end()) return;
+                 if (notify_master) {
+                   MasterState* m = MasterFor(*it->second, dest);
+                   if (m != nullptr) {
+                     assert(m->pending_messages > 0);
+                     --m->pending_messages;
+                     ++m->messages_received;
+                     CheckMasterReady(*it->second, *m);
+                   }
+                 }
+               });
+  }
+  if (migrated > 0) metrics_->RecordMigrations(sim_->Now(), migrated);
+
+  // Early release: participants that are not masters give their locks up
+  // right after shipping (their part of the transaction is over).
+  std::vector<TxnId> granted;
+  if (!state->is_master) {
+    src.locks().Release(id, &granted);
+  }
+  --a.participants_pending;
+  MaybeComplete(a);  // may destroy `a`
+  ProcessGrants(node, granted);
+}
+
+void TxnExecutor::CheckMasterReady(Active& a, MasterState& m) {
+  NodeState* state = StateFor(a, m.node);
+  if (m.started || !state->granted || !m.local_present ||
+      m.pending_messages > 0) {
+    return;
+  }
+  m.started = true;
+  m.ready_time = sim_->Now();
+  if (m.ready_time > state->grant_time) {
+    a.remote_wait_us += m.ready_time - state->grant_time;
+  }
+  ExecuteMaster(a, m);
+}
+
+void TxnExecutor::ExecuteMaster(Active& a, MasterState& m) {
+  // Execution cost: fixed logic + per-record logic + local storage ops.
+  const bool single_master = a.masters.size() == 1;
+  const NodeState* state = StateFor(a, m.node);
+  size_t local_ops = state->owned.size();
+  for (Key k : a.write_keys) {
+    (void)k;
+    if (single_master) ++local_ops;  // every write applies here
+  }
+  if (!single_master) {
+    for (const Access& acc : state->owned) {
+      if (acc.is_write) ++local_ops;
+    }
+  }
+  const SimTime cost = costs_->txn_logic_us +
+                       costs_->txn_logic_per_record_us * a.plan.txn.NumOps() +
+                       costs_->storage_op_us * local_ops +
+                       costs_->msg_processing_us * m.messages_received;
+  a.exec_us += cost;
+  const TxnId id = a.plan.txn.id;
+  const NodeId node = m.node;
+  NodeAt(node).workers().Submit(cost, [this, id, node]() {
+    auto it = actives_.find(id);
+    if (it == actives_.end()) return;
+    Active& act = *it->second;
+    MasterState* ms = MasterFor(act, node);
+    CommitMaster(act, *ms);
+  });
+}
+
+void TxnExecutor::CommitMaster(Active& a, MasterState& m) {
+  Node& node = NodeAt(m.node);
+  const TxnId id = a.plan.txn.id;
+  const bool single_master = a.masters.size() == 1;
+
+  if (a.plan.txn.kind == TxnKind::kRegular) {
+    // Apply writes with UNDO pre-images; a user abort rolls them back but
+    // the migration plan already executed (§4.2).
+    for (Key k : a.write_keys) {
+      bool applies_here = single_master;
+      if (!single_master) {
+        const NodeState* state = StateFor(a, m.node);
+        applies_here = false;
+        for (const Access& acc : state->owned) {
+          if (acc.key == k && acc.is_write) {
+            applies_here = true;
+            break;
+          }
+        }
+      }
+      if (!applies_here) continue;
+      const storage::Record* pre = node.store().Get(k);
+      assert(pre != nullptr && "write target not present at master");
+      node.undo().RecordPreImage(id, k, *pre);
+      node.store().ApplyWrite(k, id);
+    }
+    if (a.plan.txn.user_abort) {
+      node.undo().Abort(id, &node.store());
+    } else {
+      node.undo().Commit(id);
+    }
+  }
+
+  std::vector<TxnId> granted;
+  node.locks().Release(id, &granted);
+  m.done = true;
+  ++a.masters_done;
+  const NodeId master_node = m.node;
+  if (a.masters_done == static_cast<int>(a.masters.size())) {
+    Acknowledge(a);
+    MaybeComplete(a);  // may destroy `a` and `m`
+  }
+  ProcessGrants(master_node, granted);
+}
+
+void TxnExecutor::MaybeComplete(Active& a) {
+  if (a.acked && a.participants_pending == 0) {
+    actives_.erase(a.plan.txn.id);  // destroys `a`
+  }
+}
+
+void TxnExecutor::Acknowledge(Active& a) {
+  // Return shipments: checked-out records go home after commit. The
+  // write-back is real work: the sender reads and serializes each record,
+  // the receiver deserializes and re-inserts it — this is the overhead
+  // data fusion avoids (§6.3).
+  uint64_t returns = 0;
+  std::map<NodeId, uint64_t> send_work;
+  for (const routing::ReturnShipment& r : a.plan.on_commit_returns) {
+    auto rec = NodeAt(r.from).store().Extract(r.key);
+    assert(rec.has_value() && "returning a record that is not present");
+    ++returns;
+    send_work[r.from] += costs_->storage_op_us;
+    net_->Send(r.from, r.to, costs_->record_bytes,
+               [this, r, record = *rec]() {
+                 NodeAt(r.to).workers().Submit(
+                     costs_->storage_op_us + costs_->msg_processing_us,
+                     [] {});
+                 DeliverRecord(r.to, r.key, record);
+               });
+  }
+  for (const auto& [node, work] : send_work) {
+    NodeAt(node).workers().Submit(work, [] {});
+  }
+  if (returns > 0) metrics_->RecordMigrations(sim_->Now(), returns);
+
+  TxnResult result;
+  result.id = a.plan.txn.id;
+  result.aborted = a.plan.txn.user_abort;
+  result.distributed = a.distributed;
+  result.latency.scheduling_us =
+      a.dispatch_time > a.plan.txn.submit_time
+          ? a.dispatch_time - a.plan.txn.submit_time
+          : 0;
+  // Lock wait: time from dispatch until the (last) master held its locks.
+  SimTime lock_wait = 0;
+  for (const auto& m : a.masters) {
+    const NodeState* state = nullptr;
+    for (const auto& [id, st] : a.nodes) {
+      if (id == m.node) state = &st;
+    }
+    if (state != nullptr && state->grant_time > a.dispatch_time) {
+      lock_wait = std::max(lock_wait, state->grant_time - a.dispatch_time);
+    }
+  }
+  result.latency.lock_wait_us = lock_wait;
+  result.latency.remote_wait_us = a.remote_wait_us;
+  result.latency.storage_us = a.exec_us;
+
+  const bool regular = a.plan.txn.kind == TxnKind::kRegular;
+  CommitCallback cb = std::move(a.on_commit);
+  const SimTime submit = a.plan.txn.submit_time;
+  if (result.aborted) {
+    ++aborted_;
+  } else {
+    ++committed_;
+  }
+  a.acked = true;
+
+  // Client acknowledgment is one network hop away.
+  const SimTime ack_delay = costs_->net_latency_us;
+  sim_->Schedule(ack_delay, [this, result, cb = std::move(cb), submit,
+                             regular]() mutable {
+    result.latency.total_us = sim_->Now() > submit ? sim_->Now() - submit : 0;
+    const SimTime accounted =
+        result.latency.scheduling_us + result.latency.lock_wait_us +
+        result.latency.remote_wait_us + result.latency.storage_us;
+    result.latency.other_us =
+        result.latency.total_us > accounted
+            ? result.latency.total_us - accounted
+            : 0;
+    if (regular) {
+      metrics_->RecordCommit(sim_->Now(), result.latency, result.distributed,
+                             result.aborted);
+    }
+    if (cb) cb(result);
+  });
+}
+
+std::string TxnExecutor::DebugString() const {
+  std::string out;
+  char buf[256];
+  std::vector<TxnId> ids;
+  ids.reserve(actives_.size());
+  for (const auto& [id, a] : actives_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (TxnId id : ids) {
+    const auto& a = actives_.at(id);
+    std::snprintf(buf, sizeof(buf), "txn %llu kind=%d:\n",
+                  static_cast<unsigned long long>(id),
+                  static_cast<int>(a->plan.txn.kind));
+    out += buf;
+    for (const auto& [node, st] : a->nodes) {
+      std::snprintf(buf, sizeof(buf),
+                    "  node %d granted=%d master=%d locks=%zu owned=%zu\n",
+                    node, st.granted, st.is_master, st.lock_requests.size(),
+                    st.owned.size());
+      out += buf;
+      for (const auto& acc : st.owned) {
+        if ((*nodes_)[node]->store().Contains(acc.key)) continue;
+        NodeId actually = kInvalidNode;
+        for (const auto& n : *nodes_) {
+          if (n->store().Contains(acc.key)) actually = n->id();
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "    MISSING key=%llu (w=%d ship=%d new=%d) actually at "
+                      "node %d\n",
+                      static_cast<unsigned long long>(acc.key), acc.is_write,
+                      acc.ship_to_master, acc.new_owner, actually);
+        out += buf;
+      }
+    }
+    for (const auto& m : a->masters) {
+      std::snprintf(buf, sizeof(buf),
+                    "  master %d pending=%d local=%d started=%d done=%d\n",
+                    m.node, m.pending_messages, m.local_present, m.started,
+                    m.done);
+      out += buf;
+    }
+  }
+  for (const auto& [pk, waiters] : presence_waiters_) {
+    std::snprintf(buf, sizeof(buf), "presence wait: node=%d key=%llu (%zu)\n",
+                  pk.node, static_cast<unsigned long long>(pk.key),
+                  waiters.size());
+    out += buf;
+  }
+  return out;
+}
+
+void TxnExecutor::WaitPresence(NodeId node, std::vector<Key> keys,
+                               std::function<void()> ready) {
+  std::vector<Key> missing;
+  for (Key k : keys) {
+    if (!NodeAt(node).store().Contains(k)) missing.push_back(k);
+  }
+  if (missing.empty()) {
+    ready();
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(missing.size());
+  auto shared_ready = std::make_shared<std::function<void()>>(std::move(ready));
+  for (Key k : missing) {
+    presence_waiters_[PresenceKey{node, k}].push_back(
+        [remaining, shared_ready]() {
+          if (--*remaining == 0) (*shared_ready)();
+        });
+  }
+}
+
+void TxnExecutor::DeliverRecord(NodeId node, Key key,
+                                const storage::Record& record) {
+  if (trace_key_ == key) {
+    std::fprintf(stderr, "[%llu] deliver key=%llu at node %d\n",
+                 static_cast<unsigned long long>(sim_->Now()),
+                 static_cast<unsigned long long>(key), node);
+  }
+  NodeAt(node).store().Insert(key, record);
+  auto it = presence_waiters_.find(PresenceKey{node, key});
+  if (it == presence_waiters_.end()) return;
+  std::vector<std::function<void()>> waiters = std::move(it->second);
+  presence_waiters_.erase(it);
+  for (auto& w : waiters) w();
+}
+
+}  // namespace hermes::engine

@@ -1,0 +1,178 @@
+#ifndef HERMES_ENGINE_EXECUTOR_H_
+#define HERMES_ENGINE_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "engine/metrics.h"
+#include "engine/node.h"
+#include "routing/router.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "txn/transaction.h"
+
+namespace hermes::engine {
+
+/// Outcome of one transaction, delivered to the submitting client.
+struct TxnResult {
+  TxnId id = kInvalidTxn;
+  bool aborted = false;
+  bool distributed = false;
+  LatencyBreakdown latency;
+};
+
+/// Executes routed transactions across the simulated nodes, implementing
+/// the deterministic transaction processing flow of §2.1 extended with
+/// on-the-fly data fusion (§3.1):
+///
+///  1. Each involved node enqueues the transaction's local lock requests
+///     in total order (conservative ordered locking). A node involved as
+///     a migration destination takes an exclusive "fence" lock so later
+///     transactions routed there cannot observe the record before this
+///     transaction's writes commit.
+///  2. Participant nodes, once their local locks are granted and their
+///     records physically present, read the records on a worker and ship
+///     them to the master(s); records that migrate are extracted at the
+///     source when sent and inserted at the destination when the message
+///     lands. Participants then release their locks (early release).
+///  3. A master executes the transaction logic on a worker once its local
+///     locks are granted and every shipped record has arrived, applies its
+///     writes (with UNDO pre-images; user aborts roll back but still honor
+///     the migration plan, §4.2), releases its locks, and commits.
+///  4. On full commit, checked-out records ship home (G-Store / T-Part
+///     return shipments) and the client is acknowledged.
+///
+/// Record presence is first-class: any action touching a record waits
+/// until the record has physically arrived at the node, which is how
+/// remote-data stalls — and the clogging they cause behind conservative
+/// locks — emerge in the simulation.
+class TxnExecutor {
+ public:
+  using CommitCallback = std::function<void(const TxnResult&)>;
+
+  TxnExecutor(sim::Simulator* sim, sim::Network* net, Metrics* metrics,
+              const CostModel* costs,
+              std::vector<std::unique_ptr<Node>>* nodes);
+
+  TxnExecutor(const TxnExecutor&) = delete;
+  TxnExecutor& operator=(const TxnExecutor&) = delete;
+
+  /// Dispatches one routed transaction. Must be called in total order.
+  void Dispatch(const routing::RoutedTxn& plan, CommitCallback on_commit);
+
+  /// Number of transactions currently in flight.
+  size_t inflight() const { return actives_.size(); }
+
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+
+  /// Diagnostic rendering of in-flight transactions and what they wait on
+  /// (lock grants, remote messages, record presence).
+  std::string DebugString() const;
+
+ private:
+  struct NodeState {
+    std::vector<storage::LockRequest> lock_requests;
+    std::vector<routing::Access> owned;  ///< accesses with owner == node
+    bool is_master = false;
+    bool granted = false;
+    SimTime acquire_time = 0;
+    SimTime grant_time = 0;
+  };
+  struct MasterState {
+    NodeId node;
+    int pending_messages = 0;   ///< remote shipments not yet arrived
+    int messages_received = 0;  ///< shipments processed (costs CPU)
+    bool local_present = false;
+    bool started = false;
+    bool done = false;
+    SimTime ready_time = 0;
+  };
+  struct Active {
+    routing::RoutedTxn plan;
+    CommitCallback on_commit;
+    SimTime dispatch_time = 0;
+    std::vector<std::pair<NodeId, NodeState>> nodes;  // sorted by node id
+    std::vector<MasterState> masters;
+    std::vector<Key> write_keys;  ///< dedup of plan.txn.write_set
+    int masters_done = 0;
+    /// Participant send phases not yet completed. The client ack does not
+    /// wait for them (an eviction migrates after the transaction returns,
+    /// §4.1), but the transaction state must outlive them.
+    int participants_pending = 0;
+    bool acked = false;
+    bool distributed = false;
+    SimTime remote_wait_us = 0;
+    SimTime exec_us = 0;
+  };
+
+  Node& NodeAt(NodeId id) { return *(*nodes_)[id]; }
+  NodeState* StateFor(Active& a, NodeId node);
+  MasterState* MasterFor(Active& a, NodeId node);
+  bool IsMaster(const Active& a, NodeId node) const;
+
+  /// True iff `state`'s node must run a participant send phase.
+  bool NodeWillSend(const Active& a, const NodeState& state,
+                    NodeId node) const;
+
+  void OnNodeGranted(Active& a, NodeId node);
+  void StartParticipant(Active& a, NodeId node);
+  void FinishParticipant(Active& a, NodeId node);
+  void CheckMasterReady(Active& a, MasterState& m);
+  void ExecuteMaster(Active& a, MasterState& m);
+  void CommitMaster(Active& a, MasterState& m);
+  /// Client acknowledgment + return shipments, fired once when every
+  /// master has committed.
+  void Acknowledge(Active& a);
+  /// Destroys the transaction state once masters and participants are all
+  /// done.
+  void MaybeComplete(Active& a);
+
+  /// Runs `ready` once every key in `keys` is physically present in
+  /// `node`'s store (immediately if they already are).
+  void WaitPresence(NodeId node, std::vector<Key> keys,
+                    std::function<void()> ready);
+  /// Inserts an arriving record and wakes presence waiters.
+  void DeliverRecord(NodeId node, Key key, const storage::Record& record);
+
+  void ProcessGrants(NodeId node, const std::vector<TxnId>& granted);
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  Metrics* metrics_;
+  const CostModel* costs_;
+  std::vector<std::unique_ptr<Node>>* nodes_;
+
+  std::unordered_map<TxnId, std::unique_ptr<Active>> actives_;
+
+  struct PresenceKey {
+    NodeId node;
+    Key key;
+    bool operator==(const PresenceKey&) const = default;
+  };
+  struct PresenceHash {
+    size_t operator()(const PresenceKey& p) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(p.node) << 48) ^
+                                   p.key);
+    }
+  };
+  std::unordered_map<PresenceKey, std::vector<std::function<void()>>,
+                     PresenceHash>
+      presence_waiters_;
+
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+  /// Set via the HERMES_TRACE_KEY environment variable: every plan access,
+  /// extraction and delivery touching this key is logged to stderr.
+  Key trace_key_ = kInvalidTxn;
+};
+
+}  // namespace hermes::engine
+
+#endif  // HERMES_ENGINE_EXECUTOR_H_

@@ -1,0 +1,121 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes::engine {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+size_t LatencyHistogram::BucketFor(SimTime v) {
+  if (v < 1) v = 1;
+  // Highest set bit selects the power-of-two band; the next two bits the
+  // linear sub-bucket within it.
+  int band = 63 - __builtin_clzll(v);
+  if (band >= 30) band = 29;
+  const uint64_t base = 1ULL << band;
+  const size_t sub = band == 0 ? 0 : ((v - base) * kSubBuckets) / base;
+  return static_cast<size_t>(band) * kSubBuckets +
+         std::min<size_t>(sub, kSubBuckets - 1);
+}
+
+SimTime LatencyHistogram::UpperBound(size_t bucket) {
+  const size_t band = bucket / kSubBuckets;
+  const size_t sub = bucket % kSubBuckets;
+  const uint64_t base = 1ULL << band;
+  return base + (base * (sub + 1)) / kSubBuckets;
+}
+
+void LatencyHistogram::Record(SimTime latency_us) {
+  ++buckets_[BucketFor(latency_us)];
+  ++count_;
+}
+
+SimTime LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  const auto target = static_cast<uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > target) return UpperBound(b);
+  }
+  return UpperBound(buckets_.size() - 1);
+}
+
+Metrics::Metrics(SimTime window_us) : window_us_(window_us) {
+  assert(window_us_ > 0);
+}
+
+WindowStats& Metrics::WindowAt(SimTime when) {
+  const size_t idx = when / window_us_;
+  if (idx >= windows_.size()) windows_.resize(idx + 1);
+  return windows_[idx];
+}
+
+void Metrics::RecordCommit(SimTime when, const LatencyBreakdown& latency,
+                           bool distributed, bool aborted) {
+  WindowStats& w = WindowAt(when);
+  if (aborted) {
+    ++w.aborts;
+    ++total_aborts_;
+    return;
+  }
+  ++w.commits;
+  ++total_commits_;
+  if (distributed) {
+    ++w.distributed_commits;
+    ++total_distributed_;
+  }
+  latency_sum_ += latency;
+  histogram_.Record(latency.total_us);
+}
+
+void Metrics::RecordMigrations(SimTime when, uint64_t count) {
+  WindowAt(when).migrations += count;
+}
+
+void Metrics::RecordBusy(SimTime when, uint64_t busy_us) {
+  WindowAt(when).busy_us += busy_us;
+}
+
+void Metrics::RecordNetBytes(SimTime when, uint64_t bytes) {
+  WindowAt(when).net_bytes += bytes;
+}
+
+LatencyBreakdown Metrics::AverageLatency() const {
+  LatencyBreakdown avg;
+  if (total_commits_ == 0) return avg;
+  avg.scheduling_us = latency_sum_.scheduling_us / total_commits_;
+  avg.lock_wait_us = latency_sum_.lock_wait_us / total_commits_;
+  avg.remote_wait_us = latency_sum_.remote_wait_us / total_commits_;
+  avg.storage_us = latency_sum_.storage_us / total_commits_;
+  avg.other_us = latency_sum_.other_us / total_commits_;
+  avg.total_us = latency_sum_.total_us / total_commits_;
+  return avg;
+}
+
+double Metrics::Throughput(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  uint64_t commits = 0;
+  const size_t first = from / window_us_;
+  const size_t last = to / window_us_;
+  for (size_t w = first; w < last && w < windows_.size(); ++w) {
+    commits += windows_[w].commits;
+  }
+  return static_cast<double>(commits) /
+         (static_cast<double>(to - from) / 1e6);
+}
+
+double Metrics::CpuUtilization(size_t w, int total_workers) const {
+  if (w >= windows_.size() || total_workers <= 0) return 0.0;
+  return static_cast<double>(windows_[w].busy_us) /
+         (static_cast<double>(window_us_) * total_workers);
+}
+
+double Metrics::NetBytesPerTxn(size_t w) const {
+  if (w >= windows_.size() || windows_[w].commits == 0) return 0.0;
+  return static_cast<double>(windows_[w].net_bytes) / windows_[w].commits;
+}
+
+}  // namespace hermes::engine

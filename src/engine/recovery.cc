@@ -1,0 +1,19 @@
+#include "engine/recovery.h"
+
+#include <utility>
+
+namespace hermes::engine {
+
+std::unique_ptr<Cluster> RecoverCluster(
+    const ClusterConfig& config, RouterKind kind,
+    std::unique_ptr<partition::PartitionMap> initial_partitioning,
+    const storage::Checkpoint& checkpoint,
+    const storage::CommandLog& command_log) {
+  auto cluster = std::make_unique<Cluster>(
+      config, kind, std::move(initial_partitioning));
+  cluster->RestoreFromCheckpoint(checkpoint);
+  cluster->ReplayBatches(command_log.Suffix(checkpoint.next_batch));
+  return cluster;
+}
+
+}  // namespace hermes::engine

@@ -1,0 +1,30 @@
+#ifndef HERMES_ENGINE_RECOVERY_H_
+#define HERMES_ENGINE_RECOVERY_H_
+
+#include <memory>
+
+#include "engine/cluster.h"
+#include "partition/partition_map.h"
+#include "storage/checkpoint.h"
+#include "storage/command_log.h"
+
+namespace hermes::engine {
+
+/// Recovery (§4.3): builds a replacement cluster from the latest
+/// consistent checkpoint and replays the command-log suffix through the
+/// deterministic routing/execution pipeline. Because every decision is a
+/// pure function of the totally ordered input, the recovered cluster ends
+/// in the exact pre-crash state — storage contents, record placement and
+/// fusion-table contents included (the recovery integration tests assert
+/// checksum equality).
+///
+/// `initial_partitioning` must match the failed cluster's configuration.
+std::unique_ptr<Cluster> RecoverCluster(
+    const ClusterConfig& config, RouterKind kind,
+    std::unique_ptr<partition::PartitionMap> initial_partitioning,
+    const storage::Checkpoint& checkpoint,
+    const storage::CommandLog& command_log);
+
+}  // namespace hermes::engine
+
+#endif  // HERMES_ENGINE_RECOVERY_H_

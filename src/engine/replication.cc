@@ -1,0 +1,104 @@
+#include "engine/replication.h"
+
+#include <cassert>
+
+namespace hermes::engine {
+
+ReplicaGroup::ReplicaGroup(const ClusterConfig& config, RouterKind kind,
+                           const MapFactory& map_factory, int num_replicas) {
+  assert(num_replicas >= 1);
+  replicas_.reserve(num_replicas);
+  for (int i = 0; i < num_replicas; ++i) {
+    replicas_.push_back(
+        std::make_unique<Cluster>(config, kind, map_factory()));
+  }
+  alive_.assign(num_replicas, true);
+  WireTap(primary_);
+}
+
+void ReplicaGroup::WireTap(int index) {
+  replicas_[index]->set_batch_tap([this, index](const Batch& batch) {
+    last_batch_ = batch.id + 1;
+    if (!batch.txns.empty()) last_txn_ = batch.txns.back().id + 1;
+    for (int r = 0; r < num_replicas(); ++r) {
+      if (r == index || !alive_[r]) continue;
+      replicas_[r]->InjectBatch(batch);
+    }
+  });
+}
+
+void ReplicaGroup::Load() {
+  for (auto& replica : replicas_) replica->Load();
+}
+
+void ReplicaGroup::Submit(TxnRequest txn,
+                          TxnExecutor::CommitCallback on_commit) {
+  replicas_[primary_]->Submit(std::move(txn), std::move(on_commit));
+}
+
+void ReplicaGroup::RunUntil(SimTime deadline) {
+  // Advance in small slices so the primary's batches reach standbys with
+  // bounded skew between the independent simulations.
+  const SimTime slice = MsToSim(100);
+  SimTime now = replicas_[primary_]->Now();
+  while (now < deadline) {
+    now = std::min(deadline, now + slice);
+    for (int r = 0; r < num_replicas(); ++r) {
+      if (alive_[r]) replicas_[r]->RunUntil(now);
+    }
+  }
+}
+
+void ReplicaGroup::Drain() {
+  // The primary drains first (producing its final batches), then the
+  // standbys consume everything that was fanned out.
+  replicas_[primary_]->Drain();
+  for (int r = 0; r < num_replicas(); ++r) {
+    if (alive_[r] && r != primary_) replicas_[r]->Drain();
+  }
+}
+
+int ReplicaGroup::Failover() {
+  assert(num_replicas() >= 2);
+  // Let the failed primary's in-flight work finish before it "dies" — a
+  // real deployment would replay its unacknowledged suffix from the
+  // total-order log; modeling the cutoff at a batch boundary keeps the
+  // test surface focused on the takeover itself.
+  replicas_[primary_]->Drain();
+  alive_[primary_] = false;
+  replicas_[primary_]->set_batch_tap(nullptr);
+
+  int next = -1;
+  for (int r = 0; r < num_replicas(); ++r) {
+    if (alive_[r]) {
+      next = r;
+      break;
+    }
+  }
+  assert(next >= 0);
+  Cluster& promoted = *replicas_[next];
+  promoted.Drain();  // consume the fanned-out backlog
+  // Continue the total order where the old primary left off.
+  promoted.RestoreSequencerCounters(last_batch_, last_txn_);
+  primary_ = next;
+  WireTap(next);
+  return next;
+}
+
+bool ReplicaGroup::ReplicasConsistent() const {
+  uint64_t checksum = 0;
+  bool first = true;
+  for (int r = 0; r < num_replicas(); ++r) {
+    if (!alive_[r]) continue;
+    const uint64_t c = replicas_[r]->StateChecksum();
+    if (first) {
+      checksum = c;
+      first = false;
+    } else if (c != checksum) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hermes::engine

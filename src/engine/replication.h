@@ -1,0 +1,73 @@
+#ifndef HERMES_ENGINE_REPLICATION_H_
+#define HERMES_ENGINE_REPLICATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "partition/partition_map.h"
+
+namespace hermes::engine {
+
+/// Deterministic replication (§2.1): every data center holds a full
+/// replica and receives the same totally ordered input; determinism keeps
+/// the replicas consistent without an agreement protocol between them.
+///
+/// The group runs one primary Cluster (which sequences client requests)
+/// and N-1 standby replicas whose schedulers are fed the primary's batch
+/// stream verbatim. When the primary "fails", any standby can take over
+/// immediately: Failover() promotes it, carrying the sequencer counters
+/// forward so the total order continues seamlessly.
+class ReplicaGroup {
+ public:
+  using MapFactory =
+      std::function<std::unique_ptr<partition::PartitionMap>()>;
+
+  ReplicaGroup(const ClusterConfig& config, RouterKind kind,
+               const MapFactory& map_factory, int num_replicas);
+
+  ReplicaGroup(const ReplicaGroup&) = delete;
+  ReplicaGroup& operator=(const ReplicaGroup&) = delete;
+
+  /// Populates all replicas.
+  void Load();
+
+  /// Submits to the current primary.
+  void Submit(TxnRequest txn,
+              TxnExecutor::CommitCallback on_commit = nullptr);
+
+  /// Advances all replicas to `deadline` (their simulations run in
+  /// lockstep wall-clock-wise; each has its own event timeline).
+  void RunUntil(SimTime deadline);
+
+  /// Drains all replicas.
+  void Drain();
+
+  /// Simulates the primary's failure: the lowest-indexed surviving
+  /// standby is promoted (its sequencer counters continue the stream) and
+  /// subsequent Submit() calls go to it. The failed replica stops
+  /// receiving batches. Returns the new primary's index.
+  int Failover();
+
+  int primary_index() const { return primary_; }
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  Cluster& replica(int i) { return *replicas_[i]; }
+
+  /// True when every live replica's store checksum matches (call after
+  /// Drain()).
+  bool ReplicasConsistent() const;
+
+ private:
+  void WireTap(int index);
+
+  std::vector<std::unique_ptr<Cluster>> replicas_;
+  std::vector<bool> alive_;
+  int primary_ = 0;
+  BatchId last_batch_ = 0;
+  TxnId last_txn_ = 0;
+};
+
+}  // namespace hermes::engine
+
+#endif  // HERMES_ENGINE_REPLICATION_H_

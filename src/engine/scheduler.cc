@@ -1,0 +1,47 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace hermes::engine {
+
+Scheduler::Scheduler(sim::Simulator* sim, routing::Router* router,
+                     TxnExecutor* executor, storage::CommandLog* command_log,
+                     const ClusterConfig* config, CallbackResolver resolver)
+    : sim_(sim),
+      router_(router),
+      executor_(executor),
+      command_log_(command_log),
+      config_(config),
+      resolver_(std::move(resolver)) {}
+
+void Scheduler::OnBatch(Batch&& batch) {
+  if (batch.txns.empty()) return;
+  if (config_->enable_command_log) command_log_->Append(batch);
+  ++batches_routed_;
+
+  // The routing algorithm runs now (its decisions are a pure function of
+  // the router state at this point in the total order); its CPU cost plus
+  // command logging delays when the executors see the plan.
+  routing::RoutePlan plan = router_->RouteBatch(batch);
+  const SimTime log_cost =
+      config_->enable_command_log
+          ? config_->costs.log_entry_us * batch.txns.size()
+          : 0;
+  const SimTime start = std::max(sim_->Now(), busy_until_);
+  const SimTime dispatch_at = start + plan.routing_cost_us + log_cost;
+  busy_until_ = dispatch_at;
+
+  auto shared_plan =
+      std::make_shared<routing::RoutePlan>(std::move(plan));
+  sim_->ScheduleAt(dispatch_at, [this, shared_plan]() {
+    for (routing::RoutedTxn& rt : shared_plan->txns) {
+      if (observer_) observer_(rt);
+      TxnExecutor::CommitCallback cb = resolver_(rt.txn);
+      executor_->Dispatch(rt, std::move(cb));
+    }
+  });
+}
+
+}  // namespace hermes::engine

@@ -1,0 +1,65 @@
+#ifndef HERMES_ENGINE_SCHEDULER_H_
+#define HERMES_ENGINE_SCHEDULER_H_
+
+#include <functional>
+
+#include "common/config.h"
+#include "engine/executor.h"
+#include "routing/router.h"
+#include "sim/simulator.h"
+#include "storage/command_log.h"
+#include "txn/transaction.h"
+
+namespace hermes::engine {
+
+/// The scheduler stage (§2.1 / §3.1): receives totally ordered batches,
+/// appends them to the command log, runs the (deterministic) routing
+/// algorithm, and dispatches the routed transactions to the executors.
+///
+/// Every node runs an identical scheduler replica in parallel; since the
+/// replicas produce byte-identical plans at identical times, the prototype
+/// models them as one pipeline whose analysis cost delays dispatch — which
+/// is exactly the per-node latency a real deployment would see.
+class Scheduler {
+ public:
+  /// Resolves the commit callback registered for a transaction (null for
+  /// synthesized transactions).
+  using CallbackResolver =
+      std::function<TxnExecutor::CommitCallback(const TxnRequest&)>;
+  /// Invoked for every transaction as it is dispatched (Clay's workload
+  /// monitor taps in here).
+  using DispatchObserver = std::function<void(const routing::RoutedTxn&)>;
+
+  Scheduler(sim::Simulator* sim, routing::Router* router,
+            TxnExecutor* executor, storage::CommandLog* command_log,
+            const ClusterConfig* config, CallbackResolver resolver);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Handles one sequenced batch: log, route, dispatch after the modeled
+  /// analysis cost. Must be called in batch order.
+  void OnBatch(Batch&& batch);
+
+  void set_observer(DispatchObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  SimTime busy_until() const { return busy_until_; }
+  uint64_t batches_routed() const { return batches_routed_; }
+
+ private:
+  sim::Simulator* sim_;
+  routing::Router* router_;
+  TxnExecutor* executor_;
+  storage::CommandLog* command_log_;
+  const ClusterConfig* config_;
+  CallbackResolver resolver_;
+  DispatchObserver observer_;
+  SimTime busy_until_ = 0;
+  uint64_t batches_routed_ = 0;
+};
+
+}  // namespace hermes::engine
+
+#endif  // HERMES_ENGINE_SCHEDULER_H_

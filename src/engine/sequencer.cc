@@ -1,0 +1,51 @@
+#include "engine/sequencer.h"
+
+#include <utility>
+
+namespace hermes::engine {
+
+Sequencer::Sequencer(sim::Simulator* sim, const ClusterConfig* config,
+                     BatchCallback on_sequenced)
+    : sim_(sim), config_(config), on_sequenced_(std::move(on_sequenced)) {}
+
+void Sequencer::Submit(TxnRequest txn) {
+  txn.id = next_txn_id_++;
+  pending_.push_back(std::move(txn));
+  ArmEpochCut();
+}
+
+void Sequencer::ArmEpochCut() {
+  if (cut_armed_ || pending_.empty()) return;
+  cut_armed_ = true;
+  // Cut at the next epoch boundary (lazy arming keeps an idle cluster's
+  // event queue empty so simulations can drain).
+  const SimTime epoch = config_->epoch_us;
+  const SimTime next_boundary = ((sim_->Now() / epoch) + 1) * epoch;
+  sim_->ScheduleAt(next_boundary, [this]() {
+    cut_armed_ = false;
+    CutBatch();
+    ArmEpochCut();
+  });
+}
+
+void Sequencer::CutBatch() {
+  if (pending_.empty()) return;
+  Batch batch;
+  batch.id = next_batch_id_++;
+  const size_t limit = config_->max_batch_size == 0
+                           ? pending_.size()
+                           : std::min(pending_.size(), config_->max_batch_size);
+  batch.txns.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    batch.txns.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  // Total ordering: one leader round trip before schedulers see the batch.
+  const SimTime deliver_at = sim_->Now() + config_->costs.total_order_us;
+  batch.sequenced_at = deliver_at;
+  sim_->ScheduleAt(deliver_at, [this, batch = std::move(batch)]() mutable {
+    on_sequenced_(std::move(batch));
+  });
+}
+
+}  // namespace hermes::engine

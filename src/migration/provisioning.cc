@@ -1,0 +1,37 @@
+#include "migration/provisioning.h"
+
+#include <cassert>
+
+namespace hermes::migration {
+
+std::vector<RangeMove> PlanScaleOut(Key lo, Key hi, NodeId new_node) {
+  return {RangeMove{lo, hi, new_node}};
+}
+
+std::vector<RangeMove> PlanDrainNode(const partition::OwnershipMap& ownership,
+                                     uint64_t num_records, NodeId leaving,
+                                     const std::vector<NodeId>& remaining) {
+  assert(!remaining.empty());
+  std::vector<RangeMove> plan;
+  size_t rr = 0;
+  bool in_range = false;
+  Key start = 0;
+  for (Key k = 0; k < num_records; ++k) {
+    const bool owned = ownership.Home(k) == leaving;
+    if (owned && !in_range) {
+      in_range = true;
+      start = k;
+    } else if (!owned && in_range) {
+      in_range = false;
+      plan.push_back(RangeMove{start, k - 1, remaining[rr % remaining.size()]});
+      ++rr;
+    }
+  }
+  if (in_range) {
+    plan.push_back(
+        RangeMove{start, num_records - 1, remaining[rr % remaining.size()]});
+  }
+  return plan;
+}
+
+}  // namespace hermes::migration

@@ -1,0 +1,28 @@
+#ifndef HERMES_MIGRATION_PROVISIONING_H_
+#define HERMES_MIGRATION_PROVISIONING_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "partition/partition_map.h"
+#include "txn/transaction.h"
+
+namespace hermes::migration {
+
+/// Cold-migration plan builders for dynamic machine provisioning (§3.3).
+
+/// Scale-out: move the key range [lo, hi] onto `new_node` (e.g. Fig. 14
+/// moves the hot tenant's range to the added node).
+std::vector<RangeMove> PlanScaleOut(Key lo, Key hi, NodeId new_node);
+
+/// Consolidation: every maximal key range currently homed on `leaving` is
+/// reassigned round-robin across `remaining` nodes. Scans the key space
+/// through the ownership view's Home() (per-key fusion placements are
+/// handled separately by the marker transaction).
+std::vector<RangeMove> PlanDrainNode(const partition::OwnershipMap& ownership,
+                                     uint64_t num_records, NodeId leaving,
+                                     const std::vector<NodeId>& remaining);
+
+}  // namespace hermes::migration
+
+#endif  // HERMES_MIGRATION_PROVISIONING_H_

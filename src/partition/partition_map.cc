@@ -1,0 +1,149 @@
+#include "partition/partition_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace hermes::partition {
+
+RangePartitionMap::RangePartitionMap(uint64_t num_records, int num_partitions)
+    : num_records_(num_records), num_partitions_(num_partitions) {
+  assert(num_partitions > 0);
+  range_size_ = (num_records + num_partitions - 1) / num_partitions;
+  if (range_size_ == 0) range_size_ = 1;
+}
+
+NodeId RangePartitionMap::Owner(Key key) const {
+  NodeId node = static_cast<NodeId>(key / range_size_);
+  return std::min<NodeId>(node, num_partitions_ - 1);
+}
+
+std::unique_ptr<PartitionMap> RangePartitionMap::Clone() const {
+  return std::make_unique<RangePartitionMap>(num_records_, num_partitions_);
+}
+
+HashPartitionMap::HashPartitionMap(uint64_t num_records, int num_partitions)
+    : num_records_(num_records), num_partitions_(num_partitions) {
+  assert(num_partitions > 0);
+}
+
+NodeId HashPartitionMap::Owner(Key key) const {
+  return static_cast<NodeId>(Mix64(key) % num_partitions_);
+}
+
+std::unique_ptr<PartitionMap> HashPartitionMap::Clone() const {
+  return std::make_unique<HashPartitionMap>(num_records_, num_partitions_);
+}
+
+CustomRangePartitionMap::CustomRangePartitionMap(std::vector<Key> bounds)
+    : bounds_(std::move(bounds)) {
+  assert(bounds_.size() >= 2);
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+NodeId CustomRangePartitionMap::Owner(Key key) const {
+  // First bound strictly greater than key, minus one, clamped to range.
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), key);
+  if (it == bounds_.begin()) return 0;
+  NodeId node = static_cast<NodeId>(std::distance(bounds_.begin(), it)) - 1;
+  return std::min(node, static_cast<NodeId>(bounds_.size()) - 2);
+}
+
+std::unique_ptr<PartitionMap> CustomRangePartitionMap::Clone() const {
+  return std::make_unique<CustomRangePartitionMap>(bounds_);
+}
+
+MappedRangePartitionMap::MappedRangePartitionMap(uint64_t range_size,
+                                                 std::vector<NodeId> owners,
+                                                 int num_partitions)
+    : range_size_(range_size),
+      owners_(std::move(owners)),
+      num_partitions_(num_partitions) {
+  assert(range_size_ > 0);
+  assert(!owners_.empty());
+}
+
+NodeId MappedRangePartitionMap::Owner(Key key) const {
+  const uint64_t range = key / range_size_;
+  if (range >= owners_.size()) return owners_.back();
+  return owners_[range];
+}
+
+std::unique_ptr<PartitionMap> MappedRangePartitionMap::Clone() const {
+  return std::make_unique<MappedRangePartitionMap>(range_size_, owners_,
+                                                   num_partitions_);
+}
+
+OwnershipMap::OwnershipMap(std::unique_ptr<PartitionMap> base)
+    : base_(std::move(base)) {}
+
+NodeId OwnershipMap::Owner(Key key) const {
+  auto it = key_overlay_.find(key);
+  if (it != key_overlay_.end()) return it->second;
+  return Home(key);
+}
+
+NodeId OwnershipMap::Home(Key key) const {
+  if (!intervals_.empty()) {
+    auto it = intervals_.upper_bound(key);
+    if (it != intervals_.begin()) {
+      --it;
+      if (key >= it->first && key <= it->second.first) {
+        return it->second.second;
+      }
+    }
+  }
+  return base_->Owner(key);
+}
+
+void OwnershipMap::SetKeyOwner(Key key, NodeId node) {
+  key_overlay_[key] = node;
+}
+
+void OwnershipMap::ClearKeyOwner(Key key) { key_overlay_.erase(key); }
+
+std::vector<std::tuple<Key, Key, NodeId>> OwnershipMap::ExportIntervals()
+    const {
+  std::vector<std::tuple<Key, Key, NodeId>> out;
+  out.reserve(intervals_.size());
+  for (const auto& [lo, rest] : intervals_) {
+    out.emplace_back(lo, rest.first, rest.second);
+  }
+  return out;
+}
+
+void OwnershipMap::RestoreIntervals(
+    const std::vector<std::tuple<Key, Key, NodeId>>& iv) {
+  intervals_.clear();
+  for (const auto& [lo, hi, node] : iv) {
+    intervals_[lo] = {hi, node};
+  }
+}
+
+void OwnershipMap::SetRangeOwner(Key lo, Key hi, NodeId node) {
+  assert(lo <= hi);
+  // Trim or split any interval overlapping [lo, hi].
+  auto it = intervals_.upper_bound(lo);
+  if (it != intervals_.begin()) --it;
+  while (it != intervals_.end() && it->first <= hi) {
+    const Key cur_lo = it->first;
+    const Key cur_hi = it->second.first;
+    const NodeId cur_owner = it->second.second;
+    if (cur_hi < lo) {
+      ++it;
+      continue;
+    }
+    it = intervals_.erase(it);
+    if (cur_lo < lo) {
+      intervals_[cur_lo] = {lo - 1, cur_owner};
+    }
+    if (cur_hi > hi) {
+      it = intervals_.insert({hi + 1, {cur_hi, cur_owner}}).first;
+      ++it;
+    }
+  }
+  intervals_[lo] = {hi, node};
+}
+
+}  // namespace hermes::partition

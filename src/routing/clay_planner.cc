@@ -1,0 +1,101 @@
+#include "routing/clay_planner.h"
+
+#include <algorithm>
+
+namespace hermes::routing {
+
+ClayPlanner::ClayPlanner(const partition::OwnershipMap* ownership,
+                         uint64_t num_records, ClayConfig config)
+    : ownership_(ownership), config_(config) {
+  num_ranges_ = (num_records + config_.range_size - 1) / config_.range_size;
+  if (num_ranges_ == 0) num_ranges_ = 1;
+}
+
+void ClayPlanner::Observe(const TxnRequest& txn) {
+  ++observed_;
+  auto note = [&](Key k) {
+    ++range_heat_[k / config_.range_size];
+    ++node_load_[ownership_->Owner(k)];
+  };
+  for (Key k : txn.read_set) note(k);
+  for (Key k : txn.write_set) note(k);
+}
+
+std::vector<ClumpMove> ClayPlanner::MaybePlan(SimTime now, int num_nodes) {
+  if (now - window_start_ < config_.monitor_window_us) return {};
+  window_start_ = now;
+
+  std::vector<ClumpMove> plan;
+  if (observed_ == 0 || num_nodes <= 1) {
+    range_heat_.clear();
+    node_load_.clear();
+    observed_ = 0;
+    return plan;
+  }
+
+  // Identify hottest and coldest nodes from the window statistics.
+  uint64_t total = 0;
+  for (const auto& [node, load] : node_load_) total += load;
+  const double avg = static_cast<double>(total) / num_nodes;
+
+  NodeId hottest = 0;
+  uint64_t hottest_load = 0;
+  for (const auto& [node, load] : node_load_) {
+    if (load > hottest_load || (load == hottest_load && node < hottest)) {
+      hottest = node;
+      hottest_load = load;
+    }
+  }
+  if (static_cast<double>(hottest_load) <= avg * (1.0 + config_.overload_slack)) {
+    range_heat_.clear();
+    node_load_.clear();
+    observed_ = 0;
+    return plan;
+  }
+  NodeId coldest = kInvalidNode;
+  uint64_t coldest_load = UINT64_MAX;
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    auto it = node_load_.find(node);
+    const uint64_t load = it == node_load_.end() ? 0 : it->second;
+    if (load < coldest_load) {
+      coldest = node;
+      coldest_load = load;
+    }
+  }
+
+  // Clump construction: the hottest node's ranges, hottest first, until
+  // the predicted load excess is covered (or the coldest node would
+  // itself become overloaded).
+  std::vector<std::pair<uint64_t, uint64_t>> hot_ranges;  // (heat, range)
+  for (const auto& [range, heat] : range_heat_) {
+    const Key probe = range * config_.range_size;
+    if (ownership_->Owner(probe) == hottest) hot_ranges.emplace_back(heat, range);
+  }
+  std::sort(hot_ranges.begin(), hot_ranges.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  const auto excess = static_cast<uint64_t>(hottest_load - avg);
+  uint64_t moved_heat = 0;
+  uint64_t dest_load = coldest_load;
+  for (const auto& [heat, range] : hot_ranges) {
+    if (moved_heat >= excess) break;
+    if (static_cast<double>(dest_load + heat) >
+        avg * (1.0 + config_.overload_slack)) {
+      continue;  // would just shift the hot spot; try a cooler clump
+    }
+    plan.push_back(ClumpMove{range * config_.range_size,
+                             (range + 1) * config_.range_size - 1, coldest});
+    moved_heat += heat;
+    dest_load += heat;
+  }
+  if (!plan.empty()) ++plans_produced_;
+
+  range_heat_.clear();
+  node_load_.clear();
+  observed_ = 0;
+  return plan;
+}
+
+}  // namespace hermes::routing

@@ -1,0 +1,48 @@
+#include "routing/gstore_router.h"
+
+namespace hermes::routing {
+
+GStoreRouter::GStoreRouter(partition::OwnershipMap* ownership,
+                           const CostModel* costs, int num_nodes)
+    : Router(ownership, costs, num_nodes) {}
+
+RoutePlan GStoreRouter::RouteBatch(const Batch& batch) {
+  RoutePlan plan;
+  plan.routing_cost_us = LinearCost(batch.txns.size());
+  plan.txns.reserve(batch.txns.size());
+  for (const TxnRequest& txn : batch.txns) {
+    if (txn.kind == TxnKind::kChunkMigration) {
+      plan.txns.push_back(PlanChunkMigrationDefault(txn));
+      continue;
+    }
+    if (txn.kind != TxnKind::kRegular) {
+      plan.txns.push_back(PlanProvisioningDefault(txn));
+      continue;
+    }
+    RoutedTxn rt;
+    rt.txn = txn;
+    const NodeId m = MajorityOwner(txn);
+    rt.masters = {m};
+    for (const auto& [k, is_write] : MergedAccessSet(txn)) {
+      const NodeId cur = OwnerOf(k);
+      Access a;
+      a.key = k;
+      a.owner = cur;
+      a.is_write = is_write;
+      if (cur != m) {
+        // Group membership: the record is checked out to the master
+        // exclusively (atomic group access) and returns home at commit.
+        // The ownership map is never updated — the group is ephemeral.
+        a.is_write = true;
+        a.ship_to_master = true;
+        a.new_owner = m;
+        rt.on_commit_returns.push_back(ReturnShipment{k, m, cur});
+      }
+      rt.accesses.push_back(a);
+    }
+    plan.txns.push_back(std::move(rt));
+  }
+  return plan;
+}
+
+}  // namespace hermes::routing

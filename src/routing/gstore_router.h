@@ -1,0 +1,26 @@
+#ifndef HERMES_ROUTING_GSTORE_ROUTER_H_
+#define HERMES_ROUTING_GSTORE_ROUTER_H_
+
+#include <string>
+
+#include "routing/router.h"
+
+namespace hermes::routing {
+
+/// G-Store+ baseline (paper §5.2.1): the look-present single-master
+/// adaptation of G-Store. Each transaction's accessed keys form an ad-hoc
+/// group pulled to the node owning the majority of them; after the
+/// transaction commits, every pulled record is written back to its home
+/// partition and the group disbands. No load balancing, no reordering.
+class GStoreRouter : public Router {
+ public:
+  GStoreRouter(partition::OwnershipMap* ownership, const CostModel* costs,
+               int num_nodes);
+
+  RoutePlan RouteBatch(const Batch& batch) override;
+  std::string name() const override { return "gstore"; }
+};
+
+}  // namespace hermes::routing
+
+#endif  // HERMES_ROUTING_GSTORE_ROUTER_H_

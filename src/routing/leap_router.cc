@@ -1,0 +1,53 @@
+#include "routing/leap_router.h"
+
+namespace hermes::routing {
+
+LeapRouter::LeapRouter(partition::OwnershipMap* ownership,
+                       const CostModel* costs, int num_nodes)
+    : Router(ownership, costs, num_nodes) {}
+
+RoutePlan LeapRouter::RouteBatch(const Batch& batch) {
+  RoutePlan plan;
+  plan.routing_cost_us = LinearCost(batch.txns.size());
+  plan.txns.reserve(batch.txns.size());
+  for (const TxnRequest& txn : batch.txns) {
+    if (txn.kind == TxnKind::kChunkMigration) {
+      plan.txns.push_back(PlanChunkMigrationDefault(txn));
+      continue;
+    }
+    if (txn.kind != TxnKind::kRegular) {
+      plan.txns.push_back(PlanProvisioningDefault(txn));
+      continue;
+    }
+    RoutedTxn rt;
+    rt.txn = txn;
+    const NodeId m = MajorityOwner(txn);
+    rt.masters = {m};
+    for (const auto& [k, is_write] : MergedAccessSet(txn)) {
+      const NodeId cur = OwnerOf(k);
+      Access a;
+      a.key = k;
+      a.owner = cur;
+      a.is_write = is_write;
+      if (cur != m) {
+        // LEAP pulls the record to the master and leaves it there: an
+        // exclusive lock moves it, and the ownership overlay records the
+        // new placement for all later transactions.
+        a.is_write = true;
+        a.ship_to_master = true;
+        a.new_owner = m;
+        ++migrations_;
+        if (ownership_->Home(k) == m) {
+          ownership_->ClearKeyOwner(k);
+        } else {
+          ownership_->SetKeyOwner(k, m);
+        }
+      }
+      rt.accesses.push_back(a);
+    }
+    plan.txns.push_back(std::move(rt));
+  }
+  return plan;
+}
+
+}  // namespace hermes::routing

@@ -1,0 +1,32 @@
+#ifndef HERMES_ROUTING_LEAP_ROUTER_H_
+#define HERMES_ROUTING_LEAP_ROUTER_H_
+
+#include <string>
+
+#include "routing/router.h"
+
+namespace hermes::routing {
+
+/// LEAP baseline (Lin et al., SIGMOD'16; paper §5.2.1): look-present data
+/// fusion. Every record a transaction accesses migrates to its master
+/// (the majority owner) and *stays there*, so later transactions with
+/// temporal locality find the records fused on one node. LEAP neither
+/// balances load nor reorders, which is exactly what exposes it to the
+/// single-node pile-up and ping-pong problems the paper describes.
+class LeapRouter : public Router {
+ public:
+  LeapRouter(partition::OwnershipMap* ownership, const CostModel* costs,
+             int num_nodes);
+
+  RoutePlan RouteBatch(const Batch& batch) override;
+  std::string name() const override { return "leap"; }
+
+  uint64_t migrations() const { return migrations_; }
+
+ private:
+  uint64_t migrations_ = 0;
+};
+
+}  // namespace hermes::routing
+
+#endif  // HERMES_ROUTING_LEAP_ROUTER_H_

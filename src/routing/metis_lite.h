@@ -1,0 +1,42 @@
+#ifndef HERMES_ROUTING_METIS_LITE_H_
+#define HERMES_ROUTING_METIS_LITE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hermes::routing {
+
+/// An undirected weighted graph in adjacency-list form. Parallel edges may
+/// be pre-merged by the builder; both directions must be present.
+struct Graph {
+  std::vector<uint64_t> vertex_weight;
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> adj;
+
+  size_t num_vertices() const { return vertex_weight.size(); }
+
+  /// Sum of weights of edges crossing partitions under `assignment`
+  /// (each undirected edge counted once).
+  uint64_t CutWeight(const std::vector<int>& assignment) const;
+};
+
+/// Balanced min-edge-cut graph partitioning in the spirit of METIS
+/// (Karypis & Kumar): greedy affinity-based seeding over vertices in
+/// descending weight order, followed by Kernighan–Lin-style single-vertex
+/// refinement passes that move boundary vertices to their best-gain
+/// partition subject to the balance cap.
+///
+/// Schism models records (here: key ranges) as vertices and co-access
+/// frequencies as edges; this partitioner plays the role METIS plays in
+/// the Schism paper. Deterministic by construction (stable orders, no RNG).
+///
+/// `imbalance` caps every partition's vertex-weight at
+/// (1 + imbalance) * total / k. Returns a partition id in [0, k) per
+/// vertex.
+std::vector<int> PartitionGraph(const Graph& graph, int k, double imbalance,
+                                int refinement_passes = 8);
+
+}  // namespace hermes::routing
+
+#endif  // HERMES_ROUTING_METIS_LITE_H_

@@ -1,0 +1,69 @@
+#include "routing/schism_partitioner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "routing/metis_lite.h"
+
+namespace hermes::routing {
+
+SchismPartitioner::SchismPartitioner(uint64_t num_records,
+                                     uint64_t range_size)
+    : num_records_(num_records), range_size_(range_size) {
+  num_ranges_ = (num_records_ + range_size_ - 1) / range_size_;
+  if (num_ranges_ == 0) num_ranges_ = 1;
+}
+
+void SchismPartitioner::Observe(const TxnRequest& txn) {
+  ++observed_;
+  std::vector<uint64_t> ranges;
+  ranges.reserve(txn.read_set.size() + txn.write_set.size());
+  for (Key k : txn.read_set) ranges.push_back(k / range_size_);
+  for (Key k : txn.write_set) ranges.push_back(k / range_size_);
+  std::sort(ranges.begin(), ranges.end());
+  ranges.erase(std::unique(ranges.begin(), ranges.end()), ranges.end());
+  for (uint64_t r : ranges) ++range_weight_[r];
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    for (size_t j = i + 1; j < ranges.size(); ++j) {
+      ++edge_weight_[(ranges[i] << 32) | ranges[j]];
+    }
+  }
+}
+
+void SchismPartitioner::Reset() {
+  range_weight_.clear();
+  edge_weight_.clear();
+  observed_ = 0;
+}
+
+std::unique_ptr<partition::PartitionMap> SchismPartitioner::Partition(
+    int num_partitions, double imbalance) const {
+  Graph graph;
+  graph.vertex_weight.assign(num_ranges_, 1);  // never leave a range weightless
+  graph.adj.assign(num_ranges_, {});
+  for (const auto& [range, weight] : range_weight_) {
+    if (range < num_ranges_) graph.vertex_weight[range] += weight;
+  }
+  for (const auto& [packed, weight] : edge_weight_) {
+    const auto a = static_cast<uint32_t>(packed >> 32);
+    const auto b = static_cast<uint32_t>(packed & 0xffffffffULL);
+    if (a >= num_ranges_ || b >= num_ranges_) continue;
+    graph.adj[a].emplace_back(b, weight);
+    graph.adj[b].emplace_back(a, weight);
+  }
+  // Deterministic adjacency order (hash-map insertion order is not).
+  for (auto& neighbors : graph.adj) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+
+  const std::vector<int> assignment =
+      PartitionGraph(graph, num_partitions, imbalance);
+  std::vector<NodeId> owners(num_ranges_);
+  for (uint64_t r = 0; r < num_ranges_; ++r) {
+    owners[r] = static_cast<NodeId>(assignment[r]);
+  }
+  return std::make_unique<partition::MappedRangePartitionMap>(
+      range_size_, std::move(owners), num_partitions);
+}
+
+}  // namespace hermes::routing

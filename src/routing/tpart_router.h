@@ -1,0 +1,36 @@
+#ifndef HERMES_ROUTING_TPART_ROUTER_H_
+#define HERMES_ROUTING_TPART_ROUTER_H_
+
+#include <string>
+
+#include "routing/router.h"
+
+namespace hermes::routing {
+
+/// T-Part baseline (Wu et al., SIGMOD'16; paper §5.2.1): transaction
+/// routing only. Each transaction gets a single master chosen to minimize
+/// remote accesses subject to a per-node load cap; within a batch, written
+/// records are *forward-pushed* — a later transaction reads them from the
+/// previous writer's node instead of from storage. Because the static
+/// partitions never change, every borrowed record is shipped back to its
+/// home partition once the last in-batch user commits.
+class TPartRouter : public Router {
+ public:
+  TPartRouter(partition::OwnershipMap* ownership, const CostModel* costs,
+              int num_nodes, double alpha = 0.0);
+
+  RoutePlan RouteBatch(const Batch& batch) override;
+  std::string name() const override { return "tpart"; }
+
+  uint64_t forward_pushes() const { return forward_pushes_; }
+  uint64_t writebacks() const { return writebacks_; }
+
+ private:
+  double alpha_;
+  uint64_t forward_pushes_ = 0;
+  uint64_t writebacks_ = 0;
+};
+
+}  // namespace hermes::routing
+
+#endif  // HERMES_ROUTING_TPART_ROUTER_H_

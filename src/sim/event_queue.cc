@@ -1,0 +1,17 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace hermes::sim {
+
+void EventQueue::Push(SimTime when, std::function<void()> fn) {
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+std::function<void()> EventQueue::Pop() {
+  std::function<void()> fn = std::move(heap_.top().fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace hermes::sim

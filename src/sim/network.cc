@@ -1,0 +1,38 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace hermes::sim {
+
+Network::Network(Simulator* sim, const CostModel* costs, int num_nodes)
+    : sim_(sim), costs_(costs), bytes_sent_(num_nodes, 0) {}
+
+void Network::EnsureCapacity(int num_nodes) {
+  if (static_cast<int>(bytes_sent_.size()) < num_nodes) {
+    bytes_sent_.resize(num_nodes, 0);
+  }
+}
+
+void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
+                   std::function<void()> on_delivery) {
+  assert(src >= 0 && src < static_cast<NodeId>(bytes_sent_.size()));
+  assert(dst >= 0 && dst < static_cast<NodeId>(bytes_sent_.size()));
+  if (src == dst) {
+    // Local hand-off: no wire bytes, no latency, but still asynchronous so
+    // that callers never re-enter themselves.
+    sim_->Schedule(0, std::move(on_delivery));
+    return;
+  }
+  const uint64_t bytes = payload_bytes + costs_->message_overhead_bytes;
+  bytes_sent_[src] += bytes;
+  total_bytes_ += bytes;
+  ++total_messages_;
+  const SimTime wire =
+      costs_->net_latency_us +
+      static_cast<SimTime>(std::llround(bytes * costs_->net_us_per_byte));
+  sim_->Schedule(wire, std::move(on_delivery));
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,48 @@
+#ifndef HERMES_SIM_NETWORK_H_
+#define HERMES_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace hermes::sim {
+
+/// Point-to-point message fabric between simulated nodes. Delivery time is
+/// latency + bytes * us_per_byte; per-node byte counters feed the Fig. 8
+/// network-usage series. Messages between a node and itself are delivered
+/// after zero wire time (still asynchronously, preserving event ordering).
+class Network {
+ public:
+  Network(Simulator* sim, const CostModel* costs, int num_nodes);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Sends `payload_bytes` of application payload from `src` to `dst` and
+  /// runs `on_delivery` when the message lands. Framing overhead is added
+  /// to the byte count automatically.
+  void Send(NodeId src, NodeId dst, uint64_t payload_bytes,
+            std::function<void()> on_delivery);
+
+  /// Grows counters when nodes are added by dynamic provisioning.
+  void EnsureCapacity(int num_nodes);
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t bytes_sent(NodeId node) const { return bytes_sent_[node]; }
+
+ private:
+  Simulator* sim_;
+  const CostModel* costs_;
+  std::vector<uint64_t> bytes_sent_;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_messages_ = 0;
+};
+
+}  // namespace hermes::sim
+
+#endif  // HERMES_SIM_NETWORK_H_

@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace hermes::sim {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  queue_.Push(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  queue_.Push(when < now_ ? now_ : when, std::move(fn));
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    now_ = queue_.NextTime();
+    auto fn = queue_.Pop();
+    ++events_executed_;
+    fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::RunAll() {
+  while (!queue_.empty()) {
+    now_ = queue_.NextTime();
+    auto fn = queue_.Pop();
+    ++events_executed_;
+    fn();
+  }
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,19 @@
+#include "storage/checkpoint.h"
+
+#include "common/rng.h"
+
+namespace hermes::storage {
+
+uint64_t Checkpoint::Checksum() const {
+  uint64_t sum = 0;
+  for (size_t node = 0; node < stores.size(); ++node) {
+    for (const auto& [key, r] : stores[node]) {
+      sum ^= Mix64(Mix64(key) ^ r.value ^
+                   (static_cast<uint64_t>(r.version) << 32) ^
+                   Mix64(node + 1));
+    }
+  }
+  return sum;
+}
+
+}  // namespace hermes::storage

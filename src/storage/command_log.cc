@@ -1,0 +1,13 @@
+#include "storage/command_log.h"
+
+namespace hermes::storage {
+
+std::vector<Batch> CommandLog::Suffix(BatchId from) const {
+  std::vector<Batch> out;
+  for (const Batch& b : batches_) {
+    if (b.id >= from) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace hermes::storage

@@ -1,0 +1,48 @@
+#include "storage/record_store.h"
+
+#include "common/rng.h"
+
+namespace hermes::storage {
+
+void RecordStore::Insert(Key key, const Record& record) {
+  records_[key] = record;
+}
+
+std::optional<Record> RecordStore::Extract(Key key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  Record r = it->second;
+  records_.erase(it);
+  return r;
+}
+
+const Record* RecordStore::Get(Key key) const {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+bool RecordStore::ApplyWrite(Key key, TxnId writer) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return false;
+  Record& r = it->second;
+  r.value = Mix64(r.value ^ Mix64(writer) ^ Mix64(key));
+  r.last_writer = writer;
+  ++r.version;
+  return true;
+}
+
+void RecordStore::Restore(Key key, const Record& pre_image) {
+  records_[key] = pre_image;
+}
+
+uint64_t RecordStore::Checksum() const {
+  // XOR of per-record digests is order-insensitive, so two stores with the
+  // same contents hash equal regardless of hash-map iteration order.
+  uint64_t sum = 0;
+  for (const auto& [key, r] : records_) {
+    sum ^= Mix64(Mix64(key) ^ r.value ^ (static_cast<uint64_t>(r.version) << 32));
+  }
+  return sum;
+}
+
+}  // namespace hermes::storage

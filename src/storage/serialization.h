@@ -1,0 +1,31 @@
+#ifndef HERMES_STORAGE_SERIALIZATION_H_
+#define HERMES_STORAGE_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/checkpoint.h"
+#include "storage/command_log.h"
+
+namespace hermes::storage {
+
+/// Durable persistence for the two recovery artifacts (§4.3): the command
+/// log (the totally ordered input stream — in a deterministic system this
+/// *is* the database) and consistent checkpoints. A simple little-endian
+/// binary format with a magic header and a trailing XOR checksum; readers
+/// validate structure and fail with a Status instead of crashing on
+/// truncated or corrupted files.
+
+/// Writes the whole command log to `path` (overwrites).
+Status WriteCommandLog(const CommandLog& log, const std::string& path);
+
+/// Appends nothing; reads a file written by WriteCommandLog into `*log`
+/// (which must be empty).
+Status ReadCommandLog(const std::string& path, CommandLog* log);
+
+Status WriteCheckpoint(const Checkpoint& checkpoint, const std::string& path);
+Status ReadCheckpoint(const std::string& path, Checkpoint* checkpoint);
+
+}  // namespace hermes::storage
+
+#endif  // HERMES_STORAGE_SERIALIZATION_H_

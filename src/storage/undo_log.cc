@@ -1,0 +1,21 @@
+#include "storage/undo_log.h"
+
+namespace hermes::storage {
+
+void UndoLog::RecordPreImage(TxnId txn, Key key, const Record& pre_image) {
+  entries_[txn].push_back(Entry{key, pre_image});
+}
+
+void UndoLog::Abort(TxnId txn, RecordStore* store) {
+  auto it = entries_.find(txn);
+  if (it == entries_.end()) return;
+  auto& list = it->second;
+  for (auto e = list.rbegin(); e != list.rend(); ++e) {
+    store->Restore(e->key, e->pre_image);
+  }
+  entries_.erase(it);
+}
+
+void UndoLog::Commit(TxnId txn) { entries_.erase(txn); }
+
+}  // namespace hermes::storage

@@ -1,0 +1,15 @@
+#include "txn/transaction.h"
+
+namespace hermes {
+
+LatencyBreakdown& LatencyBreakdown::operator+=(const LatencyBreakdown& o) {
+  scheduling_us += o.scheduling_us;
+  lock_wait_us += o.lock_wait_us;
+  remote_wait_us += o.remote_wait_us;
+  storage_us += o.storage_us;
+  other_us += o.other_us;
+  total_us += o.total_us;
+  return *this;
+}
+
+}  // namespace hermes

@@ -1,0 +1,27 @@
+#include "workload/client.h"
+
+#include <utility>
+
+namespace hermes::workload {
+
+ClosedLoopDriver::ClosedLoopDriver(engine::Cluster* cluster, int num_clients,
+                                   Generator gen)
+    : cluster_(cluster), num_clients_(num_clients), gen_(std::move(gen)) {}
+
+void ClosedLoopDriver::Start() {
+  for (int c = 0; c < num_clients_; ++c) SubmitNext(c);
+}
+
+void ClosedLoopDriver::SubmitNext(int client) {
+  const SimTime now = cluster_->Now();
+  if (now >= stop_time_) return;
+  TxnRequest txn = gen_(client, now);
+  txn.client = client;
+  cluster_->Submit(std::move(txn),
+                   [this, client](const engine::TxnResult&) {
+                     ++completed_;
+                     SubmitNext(client);
+                   });
+}
+
+}  // namespace hermes::workload

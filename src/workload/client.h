@@ -1,0 +1,46 @@
+#ifndef HERMES_WORKLOAD_CLIENT_H_
+#define HERMES_WORKLOAD_CLIENT_H_
+
+#include <functional>
+
+#include "common/types.h"
+#include "engine/cluster.h"
+#include "txn/transaction.h"
+
+namespace hermes::workload {
+
+/// Closed-loop client driver (the paper's client machines): `num_clients`
+/// clients each keep exactly one transaction outstanding — submit, wait
+/// for the commit acknowledgment, submit the next. Generation stops at
+/// `stop_time`, after which the cluster drains naturally.
+class ClosedLoopDriver {
+ public:
+  using Generator = std::function<TxnRequest(int client, SimTime now)>;
+
+  ClosedLoopDriver(engine::Cluster* cluster, int num_clients, Generator gen);
+
+  ClosedLoopDriver(const ClosedLoopDriver&) = delete;
+  ClosedLoopDriver& operator=(const ClosedLoopDriver&) = delete;
+
+  /// Begins submission (call once, before or at simulated time 0 or any
+  /// later point).
+  void Start();
+
+  /// Clients stop submitting once simulated time reaches `t`.
+  void set_stop_time(SimTime t) { stop_time_ = t; }
+
+  uint64_t completed() const { return completed_; }
+
+ private:
+  void SubmitNext(int client);
+
+  engine::Cluster* cluster_;
+  int num_clients_;
+  Generator gen_;
+  SimTime stop_time_ = kSimTimeMax;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace hermes::workload
+
+#endif  // HERMES_WORKLOAD_CLIENT_H_

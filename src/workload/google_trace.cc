@@ -1,0 +1,55 @@
+#include "workload/google_trace.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hermes::workload {
+
+SyntheticGoogleTrace::SyntheticGoogleTrace(const GoogleTraceConfig& config)
+    : config_(config) {
+  assert(config_.num_machines > 0 && config_.num_windows > 0);
+  loads_.resize(config_.num_machines);
+  for (int m = 0; m < config_.num_machines; ++m) {
+    Rng rng(Mix64(config_.seed ^ (0x9e37u + m)));
+    auto& series = loads_[m];
+    series.reserve(config_.num_windows);
+    // Baseline regime: uniform in [0.2, 1.0]; shifts are episodic.
+    double regime = 0.2 + 0.8 * rng.NextDouble();
+    for (int w = 0; w < config_.num_windows; ++w) {
+      if (rng.NextDouble() < config_.regime_switch_prob) {
+        regime = 0.2 + 0.8 * rng.NextDouble();
+      }
+      double load = regime;
+      // Lognormal window noise.
+      load *= std::exp(config_.noise_sigma * rng.NextGaussian());
+      if (rng.NextDouble() < config_.spike_prob) {
+        load *= config_.spike_magnitude;
+      }
+      if (rng.NextDouble() < config_.off_prob) {
+        load = 0.01;  // deprovisioned: almost no load enters this machine
+      }
+      series.push_back(load);
+    }
+  }
+}
+
+double SyntheticGoogleTrace::Load(int machine, SimTime t) const {
+  assert(machine >= 0 && machine < config_.num_machines);
+  const size_t window =
+      (t / config_.window_us) % static_cast<size_t>(config_.num_windows);
+  return loads_[machine][window];
+}
+
+std::vector<double> SyntheticGoogleTrace::Weights(SimTime t) const {
+  std::vector<double> weights(config_.num_machines);
+  double total = 0;
+  for (int m = 0; m < config_.num_machines; ++m) {
+    weights[m] = Load(m, t);
+    total += weights[m];
+  }
+  if (total <= 0) total = 1;
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace hermes::workload

@@ -1,0 +1,68 @@
+#ifndef HERMES_WORKLOAD_GOOGLE_TRACE_H_
+#define HERMES_WORKLOAD_GOOGLE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace hermes::workload {
+
+struct GoogleTraceConfig {
+  int num_machines = 20;
+  /// Number of trace windows (one load sample per machine per window).
+  int num_windows = 72;
+  /// Simulated duration of one window.
+  SimTime window_us = 30'000'000;
+  uint64_t seed = 7;
+
+  // --- Shape parameters (statistically matched to the paper's Fig. 1:
+  // fluctuating baselines, unpredictable episodic spikes/shifts, machines
+  // appearing/disappearing through provisioning changes). ---
+  /// Probability per window that a machine's baseline jumps to a new
+  /// regime (episodic shift).
+  double regime_switch_prob = 0.08;
+  /// Probability per window of a short load spike.
+  double spike_prob = 0.10;
+  /// Multiplier applied during a spike.
+  double spike_magnitude = 3.0;
+  /// Fraction of windows a machine may be deprovisioned (near-zero load).
+  double off_prob = 0.02;
+  /// Window-to-window noise (lognormal sigma).
+  double noise_sigma = 0.25;
+};
+
+/// Synthetic stand-in for the Google cluster-usage traces (Reiss et al.
+/// 2011) used in §5.2.2. The real traces are not redistributable with this
+/// repository; what the paper *uses* from them is a per-machine,
+/// time-varying load signal that is episodic and not predictable from its
+/// own past — which a regime-switching process with random spikes and
+/// provisioning gaps reproduces. DESIGN.md documents the substitution.
+class SyntheticGoogleTrace {
+ public:
+  explicit SyntheticGoogleTrace(const GoogleTraceConfig& config);
+
+  /// Load of `machine` at simulated time `t` (arbitrary positive units;
+  /// callers normalize). Times past the last window wrap around.
+  double Load(int machine, SimTime t) const;
+
+  /// Normalized per-machine load weights at time `t` (sums to 1).
+  std::vector<double> Weights(SimTime t) const;
+
+  const GoogleTraceConfig& config() const { return config_; }
+
+  /// Raw series of one machine (for tests and trace dumps).
+  const std::vector<double>& Series(int machine) const {
+    return loads_[machine];
+  }
+
+ private:
+  GoogleTraceConfig config_;
+  /// loads_[machine][window]
+  std::vector<std::vector<double>> loads_;
+};
+
+}  // namespace hermes::workload
+
+#endif  // HERMES_WORKLOAD_GOOGLE_TRACE_H_

@@ -1,0 +1,96 @@
+#include "routing/clay_planner.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "partition/partition_map.h"
+
+namespace hermes::routing {
+namespace {
+
+using partition::OwnershipMap;
+using partition::RangePartitionMap;
+
+TxnRequest TxnOn(Key a, Key b) {
+  TxnRequest txn;
+  txn.read_set = {a, b};
+  txn.write_set = {a};
+  return txn;
+}
+
+ClayConfig SmallClay() {
+  ClayConfig config;
+  config.monitor_window_us = 1000;
+  config.range_size = 25;  // one range per node for a 100-record, 4-node DB
+  config.overload_slack = 0.10;
+  return config;
+}
+
+TEST(ClayPlannerTest, NoPlanBeforeWindowElapses) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 4));
+  ClayPlanner clay(&map, 100, SmallClay());
+  clay.Observe(TxnOn(1, 2));
+  EXPECT_TRUE(clay.MaybePlan(500, 4).empty());
+}
+
+TEST(ClayPlannerTest, NoPlanWhenBalanced) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 4));
+  ClayPlanner clay(&map, 100, SmallClay());
+  for (Key k = 0; k < 100; ++k) clay.Observe(TxnOn(k, (k + 1) % 100));
+  EXPECT_TRUE(clay.MaybePlan(2000, 4).empty());
+  EXPECT_EQ(clay.plans_produced(), 0u);
+}
+
+TEST(ClayPlannerTest, PlansMigrationOffHotNode) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 4));
+  ClayConfig config = SmallClay();
+  config.range_size = 5;  // 5 ranges per node
+  ClayPlanner clay(&map, 100, config);
+  // Node 0 heavily loaded with heat spread over its five ranges so a
+  // movable clump exists; range [0,5) is the hottest.
+  for (int i = 0; i < 100; ++i) clay.Observe(TxnOn(1, 2));
+  for (int i = 0; i < 60; ++i) clay.Observe(TxnOn(6, 7));
+  for (int i = 0; i < 50; ++i) clay.Observe(TxnOn(11, 12));
+  for (int i = 0; i < 40; ++i) clay.Observe(TxnOn(16, 17));
+  for (int i = 0; i < 40; ++i) clay.Observe(TxnOn(30, 31));  // node 1
+  for (int i = 0; i < 30; ++i) clay.Observe(TxnOn(55, 56));  // node 2
+
+  const auto plan = clay.MaybePlan(2000, 4);
+  ASSERT_FALSE(plan.empty());
+  for (const auto& mv : plan) {
+    EXPECT_EQ(map.Owner(mv.lo), 0);   // clumps come off the hot node
+    EXPECT_EQ(mv.target, 3);          // coldest node (zero observed load)
+  }
+  EXPECT_EQ(clay.plans_produced(), 1u);
+}
+
+TEST(ClayPlannerTest, WindowStatisticsResetAfterPlan) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 4));
+  ClayPlanner clay(&map, 100, SmallClay());
+  for (int i = 0; i < 100; ++i) clay.Observe(TxnOn(1, 2));
+  (void)clay.MaybePlan(2000, 4);
+  // Nothing observed since: next window has no data and plans nothing.
+  EXPECT_TRUE(clay.MaybePlan(4000, 4).empty());
+}
+
+TEST(ClayPlannerTest, DoesNotJustShiftTheHotSpot) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 4));
+  ClayConfig config = SmallClay();
+  config.range_size = 25;  // one range per node: moving it would only
+                           // relocate the problem
+  ClayPlanner clay(&map, 100, config);
+  for (int i = 0; i < 300; ++i) clay.Observe(TxnOn(1, 2));
+  const auto plan = clay.MaybePlan(2000, 4);
+  EXPECT_TRUE(plan.empty());  // the whole-range clump is hotter than avg
+}
+
+TEST(ClayPlannerTest, SingleNodeClusterNeverPlans) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 1));
+  ClayPlanner clay(&map, 100, SmallClay());
+  for (int i = 0; i < 100; ++i) clay.Observe(TxnOn(1, 2));
+  EXPECT_TRUE(clay.MaybePlan(2000, 1).empty());
+}
+
+}  // namespace
+}  // namespace hermes::routing

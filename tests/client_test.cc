@@ -1,0 +1,98 @@
+#include "workload/client.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "partition/partition_map.h"
+
+namespace hermes::workload {
+namespace {
+
+using engine::Cluster;
+using engine::RouterKind;
+
+std::unique_ptr<Cluster> SmallCluster() {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.num_records = 1000;
+  auto cluster = std::make_unique<Cluster>(
+      config, RouterKind::kHermes,
+      std::make_unique<partition::RangePartitionMap>(config.num_records,
+                                                     config.num_nodes));
+  cluster->Load();
+  return cluster;
+}
+
+TxnRequest SimpleTxn(Key k) {
+  TxnRequest txn;
+  txn.read_set = {k};
+  txn.write_set = {k};
+  return txn;
+}
+
+TEST(ClosedLoopDriverTest, OneOutstandingPerClient) {
+  auto cluster = SmallCluster();
+  int outstanding = 0;
+  int max_outstanding = 0;
+  ClosedLoopDriver driver(cluster.get(), 1, [&](int client, SimTime) {
+    EXPECT_EQ(client, 0);
+    ++outstanding;
+    max_outstanding = std::max(max_outstanding, outstanding);
+    return SimpleTxn(1);
+  });
+  driver.set_stop_time(MsToSim(200));
+  // Decrement on every commit via a wrapper: track through commits.
+  // The driver's own callback resubmits; completion count suffices.
+  driver.Start();
+  cluster->RunUntil(MsToSim(200));
+  cluster->Drain();
+  EXPECT_EQ(max_outstanding, outstanding);  // strictly sequential calls
+  EXPECT_GT(driver.completed(), 2u);
+  // Generator invocations == completions + the in-flight one at stop.
+  EXPECT_LE(static_cast<uint64_t>(outstanding), driver.completed() + 1);
+}
+
+TEST(ClosedLoopDriverTest, StopTimeHaltsSubmission) {
+  auto cluster = SmallCluster();
+  ClosedLoopDriver driver(cluster.get(), 4,
+                          [&](int, SimTime) { return SimpleTxn(5); });
+  driver.set_stop_time(MsToSim(100));
+  driver.Start();
+  cluster->RunUntil(SecToSim(1));
+  cluster->Drain();
+  const uint64_t after_stop = driver.completed();
+  cluster->RunUntil(SecToSim(2));
+  cluster->Drain();
+  EXPECT_EQ(driver.completed(), after_stop);  // nothing new
+  EXPECT_EQ(cluster->executor().inflight(), 0u);
+}
+
+TEST(ClosedLoopDriverTest, MultipleClientsProgressIndependently) {
+  auto cluster = SmallCluster();
+  std::vector<int> per_client(8, 0);
+  ClosedLoopDriver driver(cluster.get(), 8, [&](int client, SimTime) {
+    ++per_client[client];
+    return SimpleTxn(static_cast<Key>(client) * 100);
+  });
+  driver.set_stop_time(MsToSim(300));
+  driver.Start();
+  cluster->RunUntil(MsToSim(300));
+  cluster->Drain();
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_GT(per_client[c], 1) << "client " << c;
+  }
+}
+
+TEST(ClosedLoopDriverTest, ZeroClientsIsANoOp) {
+  auto cluster = SmallCluster();
+  ClosedLoopDriver driver(cluster.get(), 0,
+                          [&](int, SimTime) { return SimpleTxn(1); });
+  driver.Start();
+  cluster->Drain();
+  EXPECT_EQ(driver.completed(), 0u);
+}
+
+}  // namespace
+}  // namespace hermes::workload

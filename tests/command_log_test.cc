@@ -1,0 +1,46 @@
+#include "storage/command_log.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes::storage {
+namespace {
+
+Batch MakeBatch(BatchId id, size_t txns) {
+  Batch b;
+  b.id = id;
+  b.txns.resize(txns);
+  return b;
+}
+
+TEST(CommandLogTest, AppendsInOrder) {
+  CommandLog log;
+  log.Append(MakeBatch(0, 2));
+  log.Append(MakeBatch(1, 3));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.batches()[0].id, 0u);
+  EXPECT_EQ(log.batches()[1].txns.size(), 3u);
+}
+
+TEST(CommandLogTest, SuffixFromWatermark) {
+  CommandLog log;
+  for (BatchId i = 0; i < 5; ++i) log.Append(MakeBatch(i, 1));
+  const auto suffix = log.Suffix(3);
+  ASSERT_EQ(suffix.size(), 2u);
+  EXPECT_EQ(suffix[0].id, 3u);
+  EXPECT_EQ(suffix[1].id, 4u);
+}
+
+TEST(CommandLogTest, SuffixPastEndIsEmpty) {
+  CommandLog log;
+  log.Append(MakeBatch(0, 1));
+  EXPECT_TRUE(log.Suffix(5).empty());
+}
+
+TEST(CommandLogTest, SuffixZeroIsEverything) {
+  CommandLog log;
+  for (BatchId i = 0; i < 3; ++i) log.Append(MakeBatch(i, 1));
+  EXPECT_EQ(log.Suffix(0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace hermes::storage

@@ -1,0 +1,184 @@
+#include "workload/distributions.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hermes::workload {
+namespace {
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator zipf(1000, 0.9);
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfianTest, SkewsTowardLowKeys) {
+  ZipfianGenerator zipf(10'000, 0.9);
+  Rng rng(2);
+  int head = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) < 100) ++head;  // hottest 1%
+  }
+  // With theta=0.9, the top 1% of keys draw a large share of accesses.
+  EXPECT_GT(head, kSamples / 4);
+}
+
+TEST(ZipfianTest, LowerThetaIsFlatter) {
+  Rng rng1(3), rng2(3);
+  ZipfianGenerator hot(10'000, 0.95), mild(10'000, 0.4);
+  int hot_head = 0, mild_head = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (hot.Next(rng1) < 100) ++hot_head;
+    if (mild.Next(rng2) < 100) ++mild_head;
+  }
+  EXPECT_GT(hot_head, mild_head);
+}
+
+TEST(ZipfianTest, SingleElementDomain) {
+  ZipfianGenerator zipf(1, 0.9);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(rng), 0u);
+}
+
+TEST(ZipfianTest, LargeDomainSetupIsFast) {
+  // The zeta tail approximation keeps construction cheap for 200M keys.
+  ZipfianGenerator zipf(200'000'000, 0.99);
+  Rng rng(5);
+  EXPECT_LT(zipf.Next(rng), 200'000'000u);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator zipf(10'000, 0.9);
+  Rng rng(6);
+  // The hottest values should NOT cluster in the low range.
+  int low = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (zipf.Next(rng) < 1000) ++low;
+  }
+  EXPECT_LT(low, 3000);
+  EXPECT_GT(low, 200);
+}
+
+TEST(TwoSidedZipfianTest, ClustersAroundPeak) {
+  TwoSidedZipfian dist(100'000, 0.9);
+  Rng rng(7);
+  const uint64_t peak = 50'000;
+  int near = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t v = dist.Next(rng, peak);
+    ASSERT_LT(v, 100'000u);
+    const uint64_t d = v > peak ? v - peak : peak - v;
+    if (d < 1000) ++near;
+  }
+  // With theta=0.9 on a 100k domain, roughly half the mass sits within 1%
+  // of the peak.
+  EXPECT_GT(near, 4000);
+}
+
+TEST(TwoSidedZipfianTest, WrapsAroundKeySpace) {
+  TwoSidedZipfian dist(1000, 0.9);
+  Rng rng(8);
+  // Peak at the very edge: samples must still be valid (wrapped).
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(dist.Next(rng, 0), 1000u);
+    EXPECT_LT(dist.Next(rng, 999), 1000u);
+  }
+}
+
+TEST(TwoSidedZipfianTest, BothSidesSampled) {
+  TwoSidedZipfian dist(100'000, 0.9);
+  Rng rng(9);
+  const uint64_t peak = 50'000;
+  int above = 0, below = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t v = dist.Next(rng, peak);
+    if (v > peak) ++above;
+    if (v < peak) ++below;
+  }
+  EXPECT_GT(above, 2000);
+  EXPECT_GT(below, 2000);
+}
+
+TEST(ClampedNormalTest, RespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t v = SampleClampedNormal(rng, 10, 10, 1, 50);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 50u);
+  }
+}
+
+TEST(ClampedNormalTest, MeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(SampleClampedNormal(rng, 20, 5, 1, 200));
+  }
+  EXPECT_NEAR(sum / kSamples, 20.0, 0.5);
+}
+
+TEST(ClampedNormalTest, ZeroStddevIsConstant) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleClampedNormal(rng, 7, 0, 1, 100), 7u);
+  }
+}
+
+TEST(SampleDiscreteTest, FollowsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 40'000; ++i) ++counts[SampleDiscrete(rng, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(SampleDiscreteTest, SingleBucket) {
+  Rng rng(14);
+  EXPECT_EQ(SampleDiscrete(rng, {5.0}), 0u);
+}
+
+class ZipfianThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianThetaSweep, HeadMassIsMonotoneInTheta) {
+  const double theta = GetParam();
+  ZipfianGenerator zipf(100'000, theta);
+  Rng rng(42);
+  int head = 0;
+  constexpr int kSamples = 30'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) < 1000) ++head;  // hottest 1%
+  }
+  const double frac = static_cast<double>(head) / kSamples;
+  // Sanity band per theta: more skew -> more head mass; uniform-ish
+  // lower bound is 1%.
+  EXPECT_GT(frac, 0.01);
+  EXPECT_LT(frac, 0.95);
+  // Monotonicity vs a flatter generator.
+  if (theta > 0.35) {
+    ZipfianGenerator flat(100'000, theta - 0.25);
+    Rng rng2(42);
+    int flat_head = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      if (flat.Next(rng2) < 1000) ++flat_head;
+    }
+    EXPECT_GT(head, flat_head);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfianThetaSweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.8, 0.9, 0.99),
+                         [](const auto& info) {
+                           return "theta" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace hermes::workload

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hermes::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Push(30, [&] { fired.push_back(3); });
+  q.Push(10, [&] { fired.push_back(1); });
+  q.Push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.Pop()();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoTieBreakAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.Pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.Push(42, [] {});
+  q.Push(7, [] {});
+  EXPECT_EQ(q.NextTime(), 7u);
+  q.Pop();
+  EXPECT_EQ(q.NextTime(), 42u);
+}
+
+TEST(EventQueueTest, SizeTracksContents) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.Push(1, [] {});
+  q.Push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hermes::sim

@@ -1,0 +1,120 @@
+// Model-based property test: FusionTable against straightforward
+// reference implementations of LRU and FIFO bounded maps, under random
+// operation sequences.
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/fusion_table.h"
+
+namespace hermes::core {
+namespace {
+
+/// Reference bounded map: an explicit list-of-keys implementation kept
+/// deliberately naive (O(n) operations) so its correctness is obvious.
+class ReferenceTable {
+ public:
+  ReferenceTable(size_t capacity, EvictionPolicy policy)
+      : capacity_(capacity), policy_(policy) {}
+
+  std::optional<NodeId> Lookup(Key key, bool touch) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    if (touch && policy_ == EvictionPolicy::kLru) MoveToBack(key);
+    return it->second;
+  }
+
+  void Put(Key key, NodeId node, std::vector<Key>* evicted) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second = node;
+      if (policy_ == EvictionPolicy::kLru) MoveToBack(key);
+    } else {
+      order_.push_back(key);
+      map_[key] = node;
+    }
+    if (capacity_ == 0) return;
+    while (map_.size() > capacity_) {
+      const Key victim = order_.front();
+      order_.pop_front();
+      map_.erase(victim);
+      evicted->push_back(victim);
+    }
+  }
+
+  void Erase(Key key) {
+    if (map_.erase(key) > 0) order_.remove(key);
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  void MoveToBack(Key key) {
+    order_.remove(key);
+    order_.push_back(key);
+  }
+
+  size_t capacity_;
+  EvictionPolicy policy_;
+  std::list<Key> order_;
+  std::unordered_map<Key, NodeId> map_;
+};
+
+struct Param {
+  size_t capacity;
+  EvictionPolicy policy;
+  uint64_t seed;
+};
+
+class FusionTablePropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(FusionTablePropertyTest, MatchesReferenceModel) {
+  const auto [capacity, policy, seed] = GetParam();
+  FusionTable table(capacity, policy);
+  ReferenceTable reference(capacity, policy);
+  Rng rng(seed);
+  constexpr Key kKeySpace = 64;  // small space: plenty of collisions
+
+  for (int step = 0; step < 4000; ++step) {
+    const Key key = rng.NextBounded(kKeySpace);
+    const int op = static_cast<int>(rng.NextBounded(10));
+    if (op < 5) {
+      const NodeId node = static_cast<NodeId>(rng.NextBounded(8));
+      std::vector<Key> ev1, ev2;
+      table.Put(key, node, &ev1);
+      reference.Put(key, node, &ev2);
+      ASSERT_EQ(ev1, ev2) << "step " << step;
+    } else if (op < 8) {
+      const bool touch = (op == 5);
+      ASSERT_EQ(table.Lookup(key, touch), reference.Lookup(key, touch))
+          << "step " << step;
+    } else {
+      table.Erase(key);
+      reference.Erase(key);
+    }
+    ASSERT_EQ(table.size(), reference.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, FusionTablePropertyTest,
+    ::testing::Values(Param{8, EvictionPolicy::kLru, 1},
+                      Param{8, EvictionPolicy::kFifo, 2},
+                      Param{1, EvictionPolicy::kLru, 3},
+                      Param{1, EvictionPolicy::kFifo, 4},
+                      Param{32, EvictionPolicy::kLru, 5},
+                      Param{0, EvictionPolicy::kLru, 6}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return std::string(p.policy == EvictionPolicy::kLru ? "Lru" : "Fifo") +
+             "Cap" + std::to_string(p.capacity) + "Seed" +
+             std::to_string(p.seed);
+    });
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,155 @@
+#include "core/fusion_table.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace hermes::core {
+namespace {
+
+TEST(FusionTableTest, PutAndLookup) {
+  FusionTable table(10, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  table.Put(1, 3, &evicted);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(table.Lookup(1, false), 3);
+  EXPECT_EQ(table.Peek(1), 3);
+  EXPECT_FALSE(table.Peek(2).has_value());
+}
+
+TEST(FusionTableTest, PutUpdatesExisting) {
+  FusionTable table(10, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  table.Put(1, 3, &evicted);
+  table.Put(1, 2, &evicted);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Peek(1), 2);
+}
+
+TEST(FusionTableTest, FifoEvictsOldestInsertion) {
+  FusionTable table(3, EvictionPolicy::kFifo);
+  std::vector<Key> evicted;
+  for (Key k = 1; k <= 3; ++k) table.Put(k, 0, &evicted);
+  // Touch key 1 (FIFO ignores recency).
+  table.Lookup(1, true);
+  table.Put(1, 1, &evicted);  // update does not refresh FIFO slot
+  table.Put(4, 0, &evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+}
+
+TEST(FusionTableTest, LruEvictsLeastRecentlyUsed) {
+  FusionTable table(3, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  for (Key k = 1; k <= 3; ++k) table.Put(k, 0, &evicted);
+  table.Lookup(1, true);  // 1 is now most recent; 2 is LRU
+  table.Put(4, 0, &evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+}
+
+TEST(FusionTableTest, UntouchedLookupDoesNotRefreshLru) {
+  FusionTable table(2, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  table.Put(1, 0, &evicted);
+  table.Put(2, 0, &evicted);
+  table.Lookup(1, /*touch=*/false);
+  table.Put(3, 0, &evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);  // 1 stayed oldest
+}
+
+TEST(FusionTableTest, UnboundedNeverEvicts) {
+  FusionTable table(0, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  for (Key k = 0; k < 10'000; ++k) table.Put(k, 0, &evicted);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(table.size(), 10'000u);
+}
+
+TEST(FusionTableTest, EraseRemovesEntry) {
+  FusionTable table(4, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  table.Put(1, 0, &evicted);
+  table.Erase(1);
+  EXPECT_FALSE(table.Peek(1).has_value());
+  EXPECT_EQ(table.size(), 0u);
+  table.Erase(1);  // idempotent
+}
+
+TEST(FusionTableTest, PinnedKeysSurviveEviction) {
+  FusionTable table(3, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  table.Put(1, 0, &evicted);
+  table.Put(2, 0, &evicted);
+  table.Put(3, 0, &evicted);
+  std::unordered_set<Key> pinned = {1, 2};
+  table.PutPinned(4, 0, pinned, &evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 3u);  // oldest non-pinned
+  EXPECT_TRUE(table.Peek(1).has_value());
+  EXPECT_TRUE(table.Peek(2).has_value());
+}
+
+TEST(FusionTableTest, AllPinnedAllowsTemporaryOverflow) {
+  FusionTable table(2, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  std::unordered_set<Key> pinned = {1, 2, 3};
+  table.PutPinned(1, 0, pinned, &evicted);
+  table.PutPinned(2, 0, pinned, &evicted);
+  table.PutPinned(3, 0, pinned, &evicted);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(table.size(), 3u);
+  // Next unpinned insert sheds the overflow.
+  table.PutPinned(4, 0, {}, &evicted);
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FusionTableTest, ExportRestoreRoundTripsOrder) {
+  FusionTable table(3, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  table.Put(1, 5, &evicted);
+  table.Put(2, 6, &evicted);
+  table.Put(3, 7, &evicted);
+  table.Lookup(1, true);
+
+  std::unordered_map<Key, NodeId> entries = {{1, 5}, {2, 6}, {3, 7}};
+  FusionTable restored(3, EvictionPolicy::kLru);
+  restored.Restore(entries, table.ExportOrder());
+  EXPECT_EQ(restored.Checksum(), table.Checksum());
+
+  // Both evict the same victim next.
+  std::vector<Key> ev1, ev2;
+  table.Put(9, 0, &ev1);
+  restored.Put(9, 0, &ev2);
+  EXPECT_EQ(ev1, ev2);
+}
+
+TEST(FusionTableTest, ChecksumIgnoresOrderButNotContents) {
+  FusionTable a(0, EvictionPolicy::kLru), b(0, EvictionPolicy::kLru);
+  std::vector<Key> evicted;
+  a.Put(1, 2, &evicted);
+  a.Put(3, 4, &evicted);
+  b.Put(3, 4, &evicted);
+  b.Put(1, 2, &evicted);
+  EXPECT_EQ(a.Checksum(), b.Checksum());
+  b.Put(1, 9, &evicted);
+  EXPECT_NE(a.Checksum(), b.Checksum());
+}
+
+TEST(FusionTableTest, MultipleEvictionsInOnePut) {
+  FusionTable table(5, EvictionPolicy::kFifo);
+  std::vector<Key> evicted;
+  for (Key k = 0; k < 5; ++k) table.Put(k, 0, &evicted);
+  std::unordered_set<Key> pinned;
+  // Overflow by restoring a larger state is impossible; emulate via
+  // pinned overflow then release.
+  table.PutPinned(5, 0, {0, 1, 2, 3, 4, 5}, &evicted);
+  EXPECT_TRUE(evicted.empty());
+  table.Put(6, 0, &evicted);
+  EXPECT_EQ(evicted.size(), 2u);  // sheds down to capacity
+}
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,78 @@
+#include "workload/google_trace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hermes::workload {
+namespace {
+
+TEST(GoogleTraceTest, DeterministicForSeed) {
+  GoogleTraceConfig config;
+  SyntheticGoogleTrace a(config), b(config);
+  for (int m = 0; m < config.num_machines; ++m) {
+    EXPECT_EQ(a.Series(m), b.Series(m));
+  }
+}
+
+TEST(GoogleTraceTest, DifferentSeedsDiffer) {
+  GoogleTraceConfig c1, c2;
+  c2.seed = 99;
+  SyntheticGoogleTrace a(c1), b(c2);
+  EXPECT_NE(a.Series(0), b.Series(0));
+}
+
+TEST(GoogleTraceTest, LoadsPositive) {
+  SyntheticGoogleTrace trace{GoogleTraceConfig{}};
+  for (int m = 0; m < trace.config().num_machines; ++m) {
+    for (double v : trace.Series(m)) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(GoogleTraceTest, WeightsNormalized) {
+  GoogleTraceConfig config;
+  SyntheticGoogleTrace trace(config);
+  for (SimTime t = 0; t < 10 * config.window_us; t += config.window_us) {
+    const auto w = trace.Weights(t);
+    double sum = 0;
+    for (double v : w) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GoogleTraceTest, TimeWrapsAroundTrace) {
+  GoogleTraceConfig config;
+  config.num_windows = 10;
+  SyntheticGoogleTrace trace(config);
+  const SimTime span = config.num_windows * config.window_us;
+  EXPECT_EQ(trace.Load(0, 0), trace.Load(0, span));
+  EXPECT_EQ(trace.Load(3, 2 * config.window_us),
+            trace.Load(3, span + 2 * config.window_us));
+}
+
+TEST(GoogleTraceTest, HasEpisodicVariation) {
+  // The trace must actually fluctuate: the max/min ratio within a series
+  // should be large for at least some machines (spikes + regime shifts).
+  GoogleTraceConfig config;
+  config.num_windows = 200;
+  SyntheticGoogleTrace trace(config);
+  int varied = 0;
+  for (int m = 0; m < config.num_machines; ++m) {
+    double lo = 1e30, hi = 0;
+    for (double v : trace.Series(m)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi / lo > 5.0) ++varied;
+  }
+  EXPECT_GT(varied, config.num_machines / 2);
+}
+
+TEST(GoogleTraceTest, MachinesAreNotCorrelated) {
+  GoogleTraceConfig config;
+  SyntheticGoogleTrace trace(config);
+  EXPECT_NE(trace.Series(0), trace.Series(1));
+}
+
+}  // namespace
+}  // namespace hermes::workload

@@ -1,0 +1,130 @@
+// Property tests for the conservative ordered lock manager: randomized
+// acquire/release schedules checked against the protocol's invariants.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/lock_manager.h"
+
+namespace hermes::storage {
+namespace {
+
+struct TxnSpec {
+  std::vector<LockRequest> reqs;
+  bool granted = false;
+  bool released = false;
+};
+
+class LockManagerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LockManagerPropertyTest, RandomScheduleUpholdsInvariants) {
+  Rng rng(GetParam());
+  LockManager lm;
+  constexpr int kTxns = 400;
+  constexpr int kKeys = 40;
+
+  std::vector<TxnSpec> txns(kTxns);
+  std::vector<TxnId> grant_log;  // order of full grants
+  // Per-key order of exclusive grants must follow acquire order.
+  std::map<Key, std::vector<TxnId>> acquire_order;
+
+  auto note_granted = [&](const std::vector<TxnId>& granted) {
+    for (TxnId t : granted) {
+      ASSERT_FALSE(txns[t].granted) << "double grant of txn " << t;
+      txns[t].granted = true;
+      grant_log.push_back(t);
+      // Invariant: exclusivity. Collect currently granted txns and check
+      // no key has two exclusive holders or an exclusive + shared mix.
+      std::map<Key, int> exclusive_holders;
+      std::map<Key, int> shared_holders;
+      for (TxnId u = 0; u < kTxns; ++u) {
+        if (!txns[u].granted || txns[u].released) continue;
+        for (const LockRequest& r : txns[u].reqs) {
+          (r.exclusive ? exclusive_holders[r.key] : shared_holders[r.key])++;
+        }
+      }
+      for (const auto& [key, count] : exclusive_holders) {
+        EXPECT_LE(count, 1) << "two exclusive holders on key " << key;
+        if (count == 1) {
+          EXPECT_EQ(shared_holders[key], 0)
+              << "exclusive + shared holders on key " << key;
+        }
+      }
+    }
+  };
+
+  TxnId next = 0;
+  std::vector<TxnId> live;
+  std::vector<TxnId> granted_buf;
+  for (int step = 0; step < 3 * kTxns; ++step) {
+    const bool do_acquire =
+        next < kTxns && (live.empty() || rng.NextBounded(100) < 55);
+    granted_buf.clear();
+    if (do_acquire) {
+      TxnSpec& spec = txns[next];
+      std::set<Key> keys;
+      const int nkeys = 1 + static_cast<int>(rng.NextBounded(5));
+      while (static_cast<int>(keys.size()) < nkeys) {
+        keys.insert(rng.NextBounded(kKeys));
+      }
+      for (Key k : keys) {
+        spec.reqs.push_back({k, rng.NextBounded(2) == 0});
+        acquire_order[k].push_back(next);
+      }
+      lm.Acquire(next, spec.reqs, &granted_buf);
+      live.push_back(next);
+      ++next;
+    } else if (!live.empty()) {
+      // Release a random live txn (granted or still waiting — both legal).
+      const size_t pick = rng.NextBounded(live.size());
+      const TxnId victim = live[pick];
+      live.erase(live.begin() + pick);
+      txns[victim].released = true;
+      lm.Release(victim, &granted_buf);
+    }
+    note_granted(granted_buf);
+  }
+  // Drain: release everything still live; all remaining non-released txns
+  // must eventually be granted before their release (liveness).
+  while (!live.empty()) {
+    const TxnId victim = live.front();
+    live.erase(live.begin());
+    granted_buf.clear();
+    txns[victim].released = true;
+    lm.Release(victim, &granted_buf);
+    note_granted(granted_buf);
+  }
+  EXPECT_EQ(lm.num_txns(), 0u);
+  EXPECT_EQ(lm.num_active_keys(), 0u);
+
+  // Invariant: per key, exclusive grants happen in acquire order relative
+  // to each other (FIFO; shared grants may batch).
+  std::map<Key, std::vector<TxnId>> exclusive_grants;
+  for (TxnId t : grant_log) {
+    for (const LockRequest& r : txns[t].reqs) {
+      if (r.exclusive) exclusive_grants[r.key].push_back(t);
+    }
+  }
+  for (const auto& [key, grants] : exclusive_grants) {
+    // Filter the acquire order to granted exclusive txns of this key.
+    std::vector<TxnId> expected;
+    for (TxnId t : acquire_order[key]) {
+      for (const LockRequest& r : txns[t].reqs) {
+        if (r.key == key && r.exclusive && txns[t].granted) {
+          expected.push_back(t);
+        }
+      }
+    }
+    EXPECT_EQ(grants, expected) << "exclusive grant order on key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockManagerPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace hermes::storage

@@ -1,0 +1,126 @@
+#include "routing/metis_lite.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hermes::routing {
+namespace {
+
+Graph ChainGraph(size_t n, uint64_t edge_weight) {
+  Graph g;
+  g.vertex_weight.assign(n, 1);
+  g.adj.assign(n, {});
+  for (uint32_t v = 0; v + 1 < n; ++v) {
+    g.adj[v].emplace_back(v + 1, edge_weight);
+    g.adj[v + 1].emplace_back(v, edge_weight);
+  }
+  return g;
+}
+
+TEST(MetisLiteTest, AssignsEveryVertex) {
+  Graph g = ChainGraph(100, 1);
+  const auto part = PartitionGraph(g, 4, 0.1);
+  ASSERT_EQ(part.size(), 100u);
+  for (int p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 4);
+  }
+}
+
+TEST(MetisLiteTest, BalancesVertexWeight) {
+  Graph g = ChainGraph(100, 1);
+  const auto part = PartitionGraph(g, 4, 0.1);
+  std::vector<uint64_t> weight(4, 0);
+  for (size_t v = 0; v < 100; ++v) weight[part[v]] += g.vertex_weight[v];
+  for (uint64_t w : weight) {
+    EXPECT_LE(w, static_cast<uint64_t>(1.1 * 100 / 4) + 1);
+  }
+}
+
+TEST(MetisLiteTest, ChainCutIsSmall) {
+  // An optimal 4-way partition of a chain cuts 3 edges.
+  Graph g = ChainGraph(100, 1);
+  const auto part = PartitionGraph(g, 4, 0.1);
+  EXPECT_LE(g.CutWeight(part), 8u);
+}
+
+TEST(MetisLiteTest, KeepsCliquesTogether) {
+  // Four 10-vertex cliques, no inter-clique edges: zero cut achievable.
+  Graph g;
+  g.vertex_weight.assign(40, 1);
+  g.adj.assign(40, {});
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      for (int j = 0; j < 10; ++j) {
+        if (i == j) continue;
+        g.adj[c * 10 + i].emplace_back(c * 10 + j, 100);
+      }
+    }
+  }
+  const auto part = PartitionGraph(g, 4, 0.1);
+  EXPECT_EQ(g.CutWeight(part), 0u);
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 1; i < 10; ++i) {
+      EXPECT_EQ(part[c * 10 + i], part[c * 10]);
+    }
+  }
+}
+
+TEST(MetisLiteTest, SinglePartitionTakesAll) {
+  Graph g = ChainGraph(10, 1);
+  const auto part = PartitionGraph(g, 1, 0.1);
+  for (int p : part) EXPECT_EQ(p, 0);
+}
+
+TEST(MetisLiteTest, EmptyGraph) {
+  Graph g;
+  EXPECT_TRUE(PartitionGraph(g, 3, 0.1).empty());
+}
+
+TEST(MetisLiteTest, DeterministicAcrossRuns) {
+  Rng rng(3);
+  Graph g;
+  g.vertex_weight.assign(200, 1);
+  g.adj.assign(200, {});
+  for (int e = 0; e < 600; ++e) {
+    const auto a = static_cast<uint32_t>(rng.NextBounded(200));
+    const auto b = static_cast<uint32_t>(rng.NextBounded(200));
+    if (a == b) continue;
+    g.adj[a].emplace_back(b, 1 + rng.NextBounded(5));
+    g.adj[b].emplace_back(a, g.adj[a].back().second);
+  }
+  EXPECT_EQ(PartitionGraph(g, 5, 0.1), PartitionGraph(g, 5, 0.1));
+}
+
+TEST(MetisLiteTest, RefinementImprovesCut) {
+  Rng rng(9);
+  Graph g;
+  g.vertex_weight.assign(100, 1);
+  g.adj.assign(100, {});
+  // Two communities with dense intra edges and sparse cross edges.
+  for (int e = 0; e < 800; ++e) {
+    const int side = static_cast<int>(rng.NextBounded(2)) * 50;
+    const auto a = static_cast<uint32_t>(side + rng.NextBounded(50));
+    const auto b = static_cast<uint32_t>(side + rng.NextBounded(50));
+    if (a == b) continue;
+    g.adj[a].emplace_back(b, 10);
+    g.adj[b].emplace_back(a, 10);
+  }
+  for (int e = 0; e < 20; ++e) {
+    const auto a = static_cast<uint32_t>(rng.NextBounded(50));
+    const auto b = static_cast<uint32_t>(50 + rng.NextBounded(50));
+    g.adj[a].emplace_back(b, 1);
+    g.adj[b].emplace_back(a, 1);
+  }
+  const auto with = PartitionGraph(g, 2, 0.1, /*refinement_passes=*/8);
+  const auto without = PartitionGraph(g, 2, 0.1, /*refinement_passes=*/0);
+  EXPECT_LE(g.CutWeight(with), g.CutWeight(without));
+  // The communities should largely end up separated.
+  EXPECT_LE(g.CutWeight(with), 100u);
+}
+
+}  // namespace
+}  // namespace hermes::routing

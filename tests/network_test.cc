@@ -1,0 +1,64 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "sim/simulator.h"
+
+namespace hermes::sim {
+namespace {
+
+TEST(NetworkTest, DeliversAfterLatencyPlusWireTime) {
+  Simulator sim;
+  CostModel costs;
+  costs.net_latency_us = 100;
+  costs.net_us_per_byte = 0.001;
+  costs.message_overhead_bytes = 0;
+  Network net(&sim, &costs, 2);
+
+  SimTime delivered = 0;
+  net.Send(0, 1, 10'000, [&] { delivered = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(delivered, 100u + 10u);  // 10k bytes * 1ns
+}
+
+TEST(NetworkTest, SelfSendIsFreeButAsynchronous) {
+  Simulator sim;
+  CostModel costs;
+  Network net(&sim, &costs, 2);
+  bool delivered = false;
+  net.Send(1, 1, 5'000, [&] { delivered = true; });
+  EXPECT_FALSE(delivered);  // must not run synchronously
+  sim.RunAll();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.total_bytes(), 0u);
+  EXPECT_EQ(sim.Now(), 0u);
+}
+
+TEST(NetworkTest, CountsBytesWithOverheadPerSender) {
+  Simulator sim;
+  CostModel costs;
+  costs.message_overhead_bytes = 64;
+  Network net(&sim, &costs, 3);
+  net.Send(0, 1, 1000, [] {});
+  net.Send(0, 2, 1000, [] {});
+  net.Send(2, 1, 500, [] {});
+  sim.RunAll();
+  EXPECT_EQ(net.bytes_sent(0), 2 * 1064u);
+  EXPECT_EQ(net.bytes_sent(2), 564u);
+  EXPECT_EQ(net.total_bytes(), 2 * 1064u + 564u);
+  EXPECT_EQ(net.total_messages(), 3u);
+}
+
+TEST(NetworkTest, EnsureCapacityGrowsCounters) {
+  Simulator sim;
+  CostModel costs;
+  Network net(&sim, &costs, 2);
+  net.EnsureCapacity(5);
+  net.Send(4, 0, 100, [] {});
+  sim.RunAll();
+  EXPECT_GT(net.bytes_sent(4), 0u);
+}
+
+}  // namespace
+}  // namespace hermes::sim

@@ -1,0 +1,60 @@
+#include "migration/provisioning.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "partition/partition_map.h"
+
+namespace hermes::migration {
+namespace {
+
+using partition::OwnershipMap;
+using partition::RangePartitionMap;
+
+TEST(ProvisioningTest, ScaleOutPlanIsSingleMove) {
+  const auto plan = PlanScaleOut(100, 199, 4);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].lo, 100u);
+  EXPECT_EQ(plan[0].hi, 199u);
+  EXPECT_EQ(plan[0].target, 4);
+}
+
+TEST(ProvisioningTest, DrainNodeCoversItsRange) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 4));
+  const auto plan = PlanDrainNode(map, 100, /*leaving=*/1, {0, 2, 3});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].lo, 25u);
+  EXPECT_EQ(plan[0].hi, 49u);
+  EXPECT_EQ(plan[0].target, 0);
+}
+
+TEST(ProvisioningTest, DrainHandlesFragmentedOwnership) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 4));
+  // Node 1 additionally owns [70,79] via a previous cold migration.
+  map.SetRangeOwner(70, 79, 1);
+  const auto plan = PlanDrainNode(map, 100, 1, {0, 2});
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].lo, 25u);
+  EXPECT_EQ(plan[0].hi, 49u);
+  EXPECT_EQ(plan[0].target, 0);
+  EXPECT_EQ(plan[1].lo, 70u);
+  EXPECT_EQ(plan[1].hi, 79u);
+  EXPECT_EQ(plan[1].target, 2);  // round-robin over remaining
+}
+
+TEST(ProvisioningTest, DrainLastRangeReachesEnd) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 4));
+  const auto plan = PlanDrainNode(map, 100, 3, {0});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].hi, 99u);
+}
+
+TEST(ProvisioningTest, DrainNodeWithNothingReturnsEmpty) {
+  OwnershipMap map(std::make_unique<RangePartitionMap>(100, 4));
+  const auto plan = PlanDrainNode(map, 100, /*leaving=*/7, {0, 1});
+  EXPECT_TRUE(plan.empty());
+}
+
+}  // namespace
+}  // namespace hermes::migration

@@ -1,0 +1,87 @@
+#include "routing/schism_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hermes::routing {
+namespace {
+
+TxnRequest TxnOn(std::vector<Key> keys) {
+  TxnRequest txn;
+  txn.read_set = keys;
+  txn.write_set = {keys.front()};
+  return txn;
+}
+
+TEST(SchismPartitionerTest, CoAccessedRangesColocate) {
+  SchismPartitioner schism(2000, /*range_size=*/100);
+  // Background uniform traffic keeps vertex weights balanced enough that
+  // the co-access structure (0 with 9, 1 with 2) decides placement.
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    schism.Observe(TxnOn({rng.NextBounded(2000), rng.NextBounded(2000)}));
+  }
+  for (int i = 0; i < 200; ++i) {
+    schism.Observe(TxnOn({5, 1905}));
+    schism.Observe(TxnOn({205, 405}));
+  }
+  auto map = schism.Partition(4);
+  EXPECT_EQ(map->Owner(5), map->Owner(1905));
+  EXPECT_EQ(map->Owner(205), map->Owner(405));
+  EXPECT_EQ(map->num_partitions(), 4);
+}
+
+TEST(SchismPartitionerTest, BalancesAccessWeight) {
+  SchismPartitioner schism(1000, 100);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Key a = rng.NextBounded(1000);
+    const Key b = rng.NextBounded(1000);
+    schism.Observe(TxnOn({a, b}));
+  }
+  auto map = schism.Partition(4);
+  std::vector<int> ranges_per(4, 0);
+  for (Key r = 0; r < 10; ++r) ++ranges_per[map->Owner(r * 100)];
+  // With uniform weights, no partition hoards most ranges.
+  for (int c : ranges_per) EXPECT_LE(c, 5);
+}
+
+TEST(SchismPartitionerTest, ResetClearsTrace) {
+  SchismPartitioner schism(1000, 100);
+  schism.Observe(TxnOn({5, 905}));
+  EXPECT_EQ(schism.observed_txns(), 1u);
+  schism.Reset();
+  EXPECT_EQ(schism.observed_txns(), 0u);
+}
+
+TEST(SchismPartitionerTest, DifferentWindowsDifferentPlans) {
+  // The Fig. 6a effect: a plan trained on one window does not fit another.
+  SchismPartitioner w1(2000, 100), w2(2000, 100);
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const Key a = rng.NextBounded(2000), b = rng.NextBounded(2000);
+    w1.Observe(TxnOn({a, b}));
+    w2.Observe(TxnOn({a, b}));
+  }
+  for (int i = 0; i < 200; ++i) {
+    w1.Observe(TxnOn({5, 1905}));   // window 1: ranges 0+19 together
+    w2.Observe(TxnOn({5, 1005}));   // window 2: ranges 0+10 together
+  }
+  auto m1 = w1.Partition(4);
+  auto m2 = w2.Partition(4);
+  EXPECT_EQ(m1->Owner(5), m1->Owner(1905));
+  EXPECT_EQ(m2->Owner(5), m2->Owner(1005));
+}
+
+TEST(SchismPartitionerTest, EmptyTraceStillCoversAllPartitions) {
+  SchismPartitioner schism(1000, 100);
+  auto map = schism.Partition(4);
+  for (Key k = 0; k < 1000; k += 100) {
+    EXPECT_GE(map->Owner(k), 0);
+    EXPECT_LT(map->Owner(k), 4);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::routing

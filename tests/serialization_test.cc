@@ -1,0 +1,192 @@
+#include "storage/serialization.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hermes::storage {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Batch SampleBatch(BatchId id, int txns, uint64_t seed) {
+  Rng rng(seed);
+  Batch batch;
+  batch.id = id;
+  batch.sequenced_at = 1000 * id;
+  for (int i = 0; i < txns; ++i) {
+    TxnRequest txn;
+    txn.id = id * 100 + i;
+    txn.kind = i % 7 == 3 ? TxnKind::kChunkMigration : TxnKind::kRegular;
+    for (int k = 0; k < 3; ++k) txn.read_set.push_back(rng.NextBounded(1000));
+    txn.write_set = {txn.read_set.front()};
+    txn.user_abort = (i % 5) == 0;
+    txn.requires_reconnaissance = (i % 4) == 0;
+    txn.client = i;
+    txn.tag = -i;
+    txn.home_sequencer = i % 4;
+    txn.migration_target = i % 3;
+    txn.submit_time = 17 * i;
+    if (i % 6 == 0) txn.range_moves.push_back(RangeMove{10, 20, 2});
+    batch.txns.push_back(std::move(txn));
+  }
+  return batch;
+}
+
+bool TxnEq(const TxnRequest& a, const TxnRequest& b) {
+  return a.id == b.id && a.kind == b.kind && a.read_set == b.read_set &&
+         a.write_set == b.write_set && a.user_abort == b.user_abort &&
+         a.requires_reconnaissance == b.requires_reconnaissance &&
+         a.client == b.client && a.tag == b.tag &&
+         a.home_sequencer == b.home_sequencer &&
+         a.migration_target == b.migration_target &&
+         a.submit_time == b.submit_time &&
+         a.range_moves.size() == b.range_moves.size();
+}
+
+TEST(SerializationTest, CommandLogRoundTrips) {
+  CommandLog log;
+  for (BatchId b = 0; b < 5; ++b) log.Append(SampleBatch(b, 10, b));
+  const std::string path = TempPath("log.bin");
+  ASSERT_TRUE(WriteCommandLog(log, path).ok());
+
+  CommandLog restored;
+  ASSERT_TRUE(ReadCommandLog(path, &restored).ok());
+  ASSERT_EQ(restored.size(), log.size());
+  for (size_t b = 0; b < log.size(); ++b) {
+    const Batch& x = log.batches()[b];
+    const Batch& y = restored.batches()[b];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.sequenced_at, y.sequenced_at);
+    ASSERT_EQ(x.txns.size(), y.txns.size());
+    for (size_t t = 0; t < x.txns.size(); ++t) {
+      EXPECT_TRUE(TxnEq(x.txns[t], y.txns[t])) << "batch " << b << " txn " << t;
+    }
+  }
+}
+
+TEST(SerializationTest, EmptyCommandLogRoundTrips) {
+  CommandLog log;
+  const std::string path = TempPath("empty_log.bin");
+  ASSERT_TRUE(WriteCommandLog(log, path).ok());
+  CommandLog restored;
+  ASSERT_TRUE(ReadCommandLog(path, &restored).ok());
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(SerializationTest, ReadIntoNonEmptyLogFails) {
+  CommandLog log;
+  log.Append(SampleBatch(0, 1, 1));
+  const std::string path = TempPath("log2.bin");
+  ASSERT_TRUE(WriteCommandLog(log, path).ok());
+  EXPECT_FALSE(ReadCommandLog(path, &log).ok());
+}
+
+TEST(SerializationTest, MissingFileIsNotFound) {
+  CommandLog log;
+  const Status s = ReadCommandLog(TempPath("nonexistent.bin"), &log);
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(SerializationTest, TruncatedFileRejected) {
+  CommandLog log;
+  for (BatchId b = 0; b < 3; ++b) log.Append(SampleBatch(b, 5, b));
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(WriteCommandLog(log, path).ok());
+  // Chop the file.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(0, ::ftruncate(fileno(f), size / 2 - (size / 2) % 8));
+  std::fclose(f);
+
+  CommandLog restored;
+  EXPECT_FALSE(ReadCommandLog(path, &restored).ok());
+}
+
+TEST(SerializationTest, CorruptedByteRejected) {
+  CommandLog log;
+  log.Append(SampleBatch(0, 8, 3));
+  const std::string path = TempPath("corrupt.bin");
+  ASSERT_TRUE(WriteCommandLog(log, path).ok());
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 48, SEEK_SET);
+  std::fputc(0xff, f);
+  std::fclose(f);
+
+  CommandLog restored;
+  const Status s = ReadCommandLog(path, &restored);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(SerializationTest, WrongMagicRejected) {
+  Checkpoint cp;
+  const std::string path = TempPath("magic.bin");
+  ASSERT_TRUE(WriteCheckpoint(cp, path).ok());
+  CommandLog log;
+  const Status s = ReadCommandLog(path, &log);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SerializationTest, CheckpointRoundTrips) {
+  Checkpoint cp;
+  cp.next_batch = 42;
+  cp.next_txn_id = 4200;
+  cp.stores.resize(3);
+  Rng rng(7);
+  for (auto& store : cp.stores) {
+    for (int i = 0; i < 50; ++i) {
+      Record record;
+      record.value = rng.Next();
+      record.last_writer = rng.Next();
+      record.version = static_cast<uint32_t>(rng.NextBounded(100));
+      store[rng.NextBounded(100'000)] = record;
+    }
+  }
+  cp.ownership_overlay = {{5, 2}, {17, 0}};
+  cp.intervals = {{100, 199, 1}, {300, 350, 2}};
+  cp.fusion_order = {5, 17};
+  cp.active_nodes = {0, 1, 2};
+
+  const std::string path = TempPath("ckpt.bin");
+  ASSERT_TRUE(WriteCheckpoint(cp, path).ok());
+  Checkpoint restored;
+  ASSERT_TRUE(ReadCheckpoint(path, &restored).ok());
+
+  EXPECT_EQ(restored.next_batch, cp.next_batch);
+  EXPECT_EQ(restored.next_txn_id, cp.next_txn_id);
+  EXPECT_EQ(restored.ownership_overlay, cp.ownership_overlay);
+  EXPECT_EQ(restored.intervals, cp.intervals);
+  EXPECT_EQ(restored.fusion_order, cp.fusion_order);
+  EXPECT_EQ(restored.active_nodes, cp.active_nodes);
+  EXPECT_EQ(restored.Checksum(), cp.Checksum());
+}
+
+TEST(SerializationTest, CheckpointImplausibleCountRejected) {
+  Checkpoint cp;
+  cp.stores.resize(1);
+  const std::string path = TempPath("count.bin");
+  ASSERT_TRUE(WriteCheckpoint(cp, path).ok());
+  // Blow up the store-count word (offset 24) — the reader must reject it
+  // instead of allocating terabytes. Recompute nothing: checksum now
+  // fails first, which is also an acceptable rejection.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 24, SEEK_SET);
+  const uint64_t huge = ~0ULL;
+  std::fwrite(&huge, sizeof(huge), 1, f);
+  std::fclose(f);
+  Checkpoint restored;
+  EXPECT_FALSE(ReadCheckpoint(path, &restored).ok());
+}
+
+}  // namespace
+}  // namespace hermes::storage

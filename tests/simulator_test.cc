@@ -1,0 +1,67 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hermes::sim {
+namespace {
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.Schedule(100, [&] { seen = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(50, [&] { ++fired; });
+  sim.Schedule(150, [&] { ++fired; });
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 100u);
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnIdleQueue) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.RunAll();
+  SimTime seen = 0;
+  sim.ScheduleAt(50, [&] { seen = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  sim.RunAll();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+}  // namespace
+}  // namespace hermes::sim

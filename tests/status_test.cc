@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: key 42");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("").code(), Status::Code::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::Internal("").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::Aborted("").code(), Status::Code::kAborted);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,144 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace hermes::workload {
+namespace {
+
+TpccConfig SmallTpcc() {
+  TpccConfig config;
+  config.num_warehouses = 8;
+  config.num_nodes = 4;
+  config.seed = 5;
+  return config;
+}
+
+TEST(TpccTest, KeyLayoutDisjointWithinWarehouse) {
+  TpccWorkload gen(SmallTpcc());
+  // Warehouse, district, customer, stock and order keys never collide.
+  std::vector<Key> keys;
+  keys.push_back(gen.WarehouseKey(0));
+  for (int d = 0; d < 10; ++d) keys.push_back(gen.DistrictKey(0, d));
+  keys.push_back(gen.CustomerKey(0, 0, 0));
+  keys.push_back(gen.CustomerKey(0, 9, 299));
+  keys.push_back(gen.StockKey(0, 0));
+  keys.push_back(gen.StockKey(0, 999));
+  keys.push_back(gen.OrderSlotKey(0, 0));
+  std::sort(keys.begin(), keys.end());
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+  for (Key k : keys) EXPECT_LT(k, gen.BlockSize());
+}
+
+TEST(TpccTest, WarehouseBlocksDisjoint) {
+  TpccWorkload gen(SmallTpcc());
+  EXPECT_EQ(gen.WarehouseKey(1), gen.BlockSize());
+  EXPECT_LT(gen.OrderSlotKey(0, 11'999), gen.WarehouseKey(1));
+  EXPECT_EQ(gen.num_records(), 8 * gen.BlockSize());
+}
+
+TEST(TpccTest, WarehousePartitioningAssignsWholeBlocks) {
+  TpccWorkload gen(SmallTpcc());
+  auto map = gen.WarehousePartitioning();
+  EXPECT_EQ(map->num_partitions(), 4);
+  for (int w = 0; w < 8; ++w) {
+    const NodeId owner = map->Owner(gen.WarehouseKey(w));
+    EXPECT_EQ(owner, w / 2);
+    EXPECT_EQ(map->Owner(gen.StockKey(w, 500)), owner);
+    EXPECT_EQ(map->Owner(gen.OrderSlotKey(w, 7)), owner);
+  }
+}
+
+TEST(TpccTest, NewOrderShape) {
+  TpccConfig config = SmallTpcc();
+  config.new_order_ratio = 1.0;
+  TpccWorkload gen(config);
+  for (int i = 0; i < 500; ++i) {
+    const TxnRequest txn = gen.Next(0);
+    ASSERT_EQ(txn.tag, kTpccNewOrderTag);
+    // Reads: warehouse + district + customer + 5..15 stocks.
+    EXPECT_GE(txn.read_set.size(), 3u + 5u);
+    EXPECT_LE(txn.read_set.size(), 3u + 15u);
+    // Writes: district + stocks + order + 5..15 lines.
+    EXPECT_GE(txn.write_set.size(), 1u + 5u + 6u);
+    for (Key k : txn.read_set) EXPECT_LT(k, gen.num_records());
+    for (Key k : txn.write_set) EXPECT_LT(k, gen.num_records());
+  }
+}
+
+TEST(TpccTest, PaymentShape) {
+  TpccConfig config = SmallTpcc();
+  config.new_order_ratio = 0.0;
+  TpccWorkload gen(config);
+  for (int i = 0; i < 500; ++i) {
+    const TxnRequest txn = gen.Next(0);
+    ASSERT_EQ(txn.tag, kTpccPaymentTag);
+    EXPECT_EQ(txn.read_set.size(), 3u);
+    EXPECT_EQ(txn.read_set, txn.write_set);
+  }
+}
+
+TEST(TpccTest, RemoteCustomerRatio) {
+  TpccConfig config = SmallTpcc();
+  config.new_order_ratio = 0.0;
+  TpccWorkload gen(config);
+  auto map = gen.WarehousePartitioning();
+  int distributed = 0;
+  constexpr int kSamples = 10'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const TxnRequest txn = gen.Next(0);
+    NodeId first = map->Owner(txn.read_set[0]);
+    for (Key k : txn.read_set) {
+      if (map->Owner(k) != first) {
+        ++distributed;
+        break;
+      }
+    }
+  }
+  // 15% remote customers, of which ~6/7 are on another node (8 warehouses,
+  // 2 per node).
+  EXPECT_GT(distributed, kSamples / 20);
+  EXPECT_LT(distributed, kSamples / 4);
+}
+
+TEST(TpccTest, HotspotConcentratesOnNodeZero) {
+  TpccConfig config = SmallTpcc();
+  config.hotspot_concentration = 0.9;
+  TpccWorkload gen(config);
+  auto map = gen.WarehousePartitioning();
+  int on_zero = 0;
+  constexpr int kSamples = 10'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const TxnRequest txn = gen.Next(0);
+    // Home warehouse = the district key's warehouse.
+    if (map->Owner(txn.write_set.front()) == 0) ++on_zero;
+  }
+  EXPECT_GT(on_zero, static_cast<int>(kSamples * 0.85));
+}
+
+TEST(TpccTest, AbortRateAboutOnePercent) {
+  TpccConfig config = SmallTpcc();
+  config.new_order_ratio = 1.0;
+  TpccWorkload gen(config);
+  int aborts = 0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.Next(0).user_abort) ++aborts;
+  }
+  EXPECT_NEAR(static_cast<double>(aborts) / kSamples, 0.01, 0.005);
+}
+
+TEST(TpccTest, OrderSlotsAdvanceAndWrap) {
+  TpccConfig config = SmallTpcc();
+  config.new_order_ratio = 1.0;
+  config.order_slots_per_warehouse = 50;  // tiny: forces wrap
+  TpccWorkload gen(config);
+  for (int i = 0; i < 200; ++i) {
+    const TxnRequest txn = gen.Next(0);
+    for (Key k : txn.write_set) EXPECT_LT(k, gen.num_records());
+  }
+}
+
+}  // namespace
+}  // namespace hermes::workload

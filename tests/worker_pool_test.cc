@@ -1,0 +1,68 @@
+#include "sim/worker_pool.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hermes::sim {
+namespace {
+
+TEST(WorkerPoolTest, ParallelismUpToWorkerCount) {
+  Simulator sim;
+  WorkerPool pool(&sim, 2);
+  std::vector<SimTime> ends;
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit(100, [&] { ends.push_back(sim.Now()); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 100u);
+  EXPECT_EQ(ends[1], 100u);  // both ran in parallel
+}
+
+TEST(WorkerPoolTest, ExcessJobsQueueBehindEarliestFinisher) {
+  Simulator sim;
+  WorkerPool pool(&sim, 2);
+  std::vector<SimTime> ends;
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit(100, [&] { ends.push_back(sim.Now()); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(ends.size(), 4u);
+  EXPECT_EQ(ends[2], 200u);
+  EXPECT_EQ(ends[3], 200u);
+}
+
+TEST(WorkerPoolTest, SubmitReturnsStartTime) {
+  Simulator sim;
+  WorkerPool pool(&sim, 1);
+  EXPECT_EQ(pool.Submit(50, [] {}), 0u);
+  EXPECT_EQ(pool.Submit(50, [] {}), 50u);  // queued behind the first
+}
+
+TEST(WorkerPoolTest, TracksBusyTime) {
+  Simulator sim;
+  WorkerPool pool(&sim, 4);
+  pool.Submit(100, [] {});
+  pool.Submit(250, [] {});
+  sim.RunAll();
+  EXPECT_EQ(pool.busy_us(), 350u);
+  EXPECT_EQ(pool.TakeBusyDelta(), 350u);
+  EXPECT_EQ(pool.TakeBusyDelta(), 0u);
+  pool.Submit(10, [] {});
+  sim.RunAll();
+  EXPECT_EQ(pool.TakeBusyDelta(), 10u);
+}
+
+TEST(WorkerPoolTest, ZeroDurationJobRunsAtNow) {
+  Simulator sim;
+  WorkerPool pool(&sim, 1);
+  bool ran = false;
+  pool.Submit(0, [&] { ran = true; });
+  sim.RunAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.Now(), 0u);
+}
+
+}  // namespace
+}  // namespace hermes::sim

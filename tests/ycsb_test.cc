@@ -1,0 +1,128 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace hermes::workload {
+namespace {
+
+YcsbConfig SmallYcsb() {
+  YcsbConfig config;
+  config.num_records = 100'000;
+  config.num_partitions = 4;
+  config.seed = 3;
+  return config;
+}
+
+TEST(YcsbTest, KeysInRangeAndDeduped) {
+  YcsbWorkload gen(SmallYcsb(), nullptr);
+  for (int i = 0; i < 5000; ++i) {
+    const TxnRequest txn = gen.Next(0);
+    EXPECT_FALSE(txn.read_set.empty());
+    EXPECT_TRUE(std::is_sorted(txn.read_set.begin(), txn.read_set.end()));
+    EXPECT_TRUE(std::adjacent_find(txn.read_set.begin(), txn.read_set.end()) ==
+                txn.read_set.end());
+    for (Key k : txn.read_set) EXPECT_LT(k, 100'000u);
+  }
+}
+
+TEST(YcsbTest, ReadWriteMixMatchesConfig) {
+  YcsbConfig config = SmallYcsb();
+  config.rw_ratio = 0.3;
+  YcsbWorkload gen(config, nullptr);
+  int rw = 0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (!gen.Next(0).write_set.empty()) ++rw;
+  }
+  EXPECT_NEAR(static_cast<double>(rw) / kSamples, 0.3, 0.02);
+}
+
+TEST(YcsbTest, WriteSetsEqualReadSetsForRmw) {
+  YcsbConfig config = SmallYcsb();
+  config.rw_ratio = 1.0;
+  YcsbWorkload gen(config, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    const TxnRequest txn = gen.Next(0);
+    EXPECT_EQ(txn.read_set, txn.write_set);
+  }
+}
+
+TEST(YcsbTest, DistributedRatioControlsSpread) {
+  YcsbConfig local_only = SmallYcsb();
+  local_only.distributed_ratio = 0.0;
+  YcsbWorkload gen(local_only, nullptr);
+  const uint64_t psize = gen.partition_size();
+  for (int i = 0; i < 2000; ++i) {
+    const TxnRequest txn = gen.Next(0);
+    // All keys within one partition range.
+    const uint64_t p = txn.read_set.front() / psize;
+    for (Key k : txn.read_set) EXPECT_EQ(k / psize, p);
+  }
+}
+
+TEST(YcsbTest, GlobalPeakSweepsOverTime) {
+  YcsbConfig config = SmallYcsb();
+  config.hotspot_cycle_us = 1'000'000;
+  YcsbWorkload gen(config, nullptr);
+  const uint64_t p0 = gen.GlobalPeak(0);
+  const uint64_t p1 = gen.GlobalPeak(250'000);
+  const uint64_t p2 = gen.GlobalPeak(750'000);
+  EXPECT_EQ(p0, 0u);
+  EXPECT_NEAR(static_cast<double>(p1), 25'000.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(p2), 75'000.0, 100.0);
+  // Wraps at the cycle boundary.
+  EXPECT_EQ(gen.GlobalPeak(1'000'000), 0u);
+}
+
+TEST(YcsbTest, TraceWeightsSteerLocalPartition) {
+  GoogleTraceConfig trace_config;
+  trace_config.num_machines = 4;
+  trace_config.num_windows = 1;
+  trace_config.off_prob = 0;
+  trace_config.spike_prob = 0;
+  SyntheticGoogleTrace trace(trace_config);
+
+  YcsbConfig config = SmallYcsb();
+  config.distributed_ratio = 0.0;
+  YcsbWorkload gen(config, &trace);
+
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    ++counts[gen.Next(0).read_set.front() / gen.partition_size()];
+  }
+  const auto weights = trace.Weights(0);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_NEAR(counts[p] / 20'000.0, weights[p], 0.02);
+  }
+}
+
+TEST(YcsbTest, TransactionLengthFollowsNormal) {
+  YcsbConfig config = SmallYcsb();
+  config.length_mean = 10;
+  config.length_stddev = 5;
+  config.distributed_ratio = 0;
+  YcsbWorkload gen(config, nullptr);
+  double sum = 0;
+  constexpr int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(gen.Next(0).read_set.size());
+  }
+  // Zipf duplicates shrink the set slightly below the sampled length.
+  EXPECT_NEAR(sum / kSamples, 10.0, 2.0);
+  EXPECT_GT(sum / kSamples, 5.0);
+}
+
+TEST(YcsbTest, DeterministicForSeed) {
+  YcsbWorkload a(SmallYcsb(), nullptr), b(SmallYcsb(), nullptr);
+  for (int i = 0; i < 200; ++i) {
+    const TxnRequest ta = a.Next(1000 * i);
+    const TxnRequest tb = b.Next(1000 * i);
+    EXPECT_EQ(ta.read_set, tb.read_set);
+    EXPECT_EQ(ta.write_set, tb.write_set);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::workload
