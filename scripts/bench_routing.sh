@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Runs the routing microbenchmarks and emits BENCH_routing.json (google-
+# benchmark JSON). The binary includes *Reference benchmarks that route
+# the same workloads with HermesConfig::use_reference_routing, so the
+# JSON carries before/after numbers for the optimized hot path in one run
+# (see EXPERIMENTS.md "Routing cost").
+#
+# Usage: scripts/bench_routing.sh
+#   BUILD_DIR  cmake build tree containing bench/ (default: build)
+#   OUT        output JSON path (default: BENCH_routing.json in repo root)
+#   FILTER     --benchmark_filter regex (default: all benchmarks)
+#   REPS       --benchmark_repetitions (default: 1)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_routing.json}"
+FILTER="${FILTER:-.}"
+REPS="${REPS:-1}"
+BIN="$BUILD_DIR/bench/bench_micro_routing"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (run: cmake -B $BUILD_DIR && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+echo "wrote $OUT"

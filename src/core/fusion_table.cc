@@ -1,5 +1,7 @@
 #include "core/fusion_table.h"
 
+#include <algorithm>
+
 #include "common/rng.h"
 
 namespace hermes::core {
@@ -50,6 +52,25 @@ void FusionTable::Put(Key key, NodeId node, std::vector<Key>* evicted) {
 void FusionTable::PutPinned(Key key, NodeId node,
                             const std::unordered_set<Key>& pinned,
                             std::vector<Key>* evicted) {
+  PutPinnedImpl(
+      key, node, [&](Key k) { return pinned.contains(k); }, evicted);
+}
+
+void FusionTable::PutPinned(Key key, NodeId node,
+                            std::span<const Key> sorted_pinned,
+                            std::vector<Key>* evicted) {
+  PutPinnedImpl(
+      key, node,
+      [&](Key k) {
+        return std::binary_search(sorted_pinned.begin(), sorted_pinned.end(),
+                                  k);
+      },
+      evicted);
+}
+
+template <typename PinnedFn>
+void FusionTable::PutPinnedImpl(Key key, NodeId node, PinnedFn&& is_pinned,
+                                std::vector<Key>* evicted) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.node = node;
@@ -61,7 +82,7 @@ void FusionTable::PutPinned(Key key, NodeId node,
   if (capacity_ == 0) return;
   auto victim = order_.begin();
   while (entries_.size() > capacity_ && victim != order_.end()) {
-    if (pinned.contains(*victim)) {
+    if (is_pinned(*victim)) {
       ++victim;  // pinned entries keep their slot and recency
       continue;
     }

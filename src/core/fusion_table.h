@@ -3,6 +3,7 @@
 
 #include <list>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -54,6 +55,11 @@ class FusionTable {
                  const std::unordered_set<Key>& pinned,
                  std::vector<Key>* evicted);
 
+  /// PutPinned over a sorted pinned-key span (binary-searched), so callers
+  /// routing in a hot loop need not build a hash set per transaction.
+  void PutPinned(Key key, NodeId node, std::span<const Key> sorted_pinned,
+                 std::vector<Key>* evicted);
+
   /// Drops `key` (its record migrated back home or left with its node).
   void Erase(Key key);
 
@@ -78,6 +84,10 @@ class FusionTable {
   };
 
   void TouchEntry(Entry& entry, Key key);
+
+  template <typename PinnedFn>
+  void PutPinnedImpl(Key key, NodeId node, PinnedFn&& is_pinned,
+                     std::vector<Key>* evicted);
 
   size_t capacity_;
   EvictionPolicy policy_;

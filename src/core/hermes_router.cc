@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <span>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace hermes::core {
 namespace {
@@ -13,7 +13,8 @@ using routing::Access;
 using routing::RoutedTxn;
 using routing::RoutePlan;
 
-/// Sorted, deduplicated copy of a key list.
+/// Sorted, deduplicated copy of a key list (reference path only; the
+/// optimized path dedups in place inside the interner's arena).
 std::vector<Key> SortedUnique(const std::vector<Key>& keys) {
   std::vector<Key> out = keys;
   std::sort(out.begin(), out.end());
@@ -59,6 +60,317 @@ RoutePlan HermesRouter::RouteBatch(const Batch& batch) {
 
 void HermesRouter::RouteSegment(const std::vector<const TxnRequest*>& txns,
                                 std::vector<RoutedTxn>* out) {
+  if (config_.use_reference_routing) {
+    RouteSegmentReference(txns, out);
+  } else {
+    RouteSegmentOptimized(txns, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Optimized implementation.
+//
+// The reference implementation below is O(b²·n) per segment: every Step-1
+// placement rescans all b candidates, and all per-key state (`view`,
+// `readers_of`, `pos_readers`, ...) lives in per-batch unordered_maps.
+// This path computes the bit-for-bit identical plan in
+// O((K + b + R)·log + R·n) where K is the number of distinct keys and R the
+// number of fusion rescores:
+//  - keys are interned to dense ids once, turning every map lookup into a
+//    vector index;
+//  - Step-1 selection uses a bucket queue over remote-read counts with
+//    lazy revalidation (amortized O(log b) per placement, same
+//    fewest-remote-reads / earliest-submission order);
+//  - Step-3 hoists the per-candidate edge computation out of the per-node
+//    loop: added_edges(p, u) = hist[from] - hist[u] over one histogram of
+//    the move's "edge nodes", so each overloaded position costs
+//    O(keys + n) instead of O(keys · n);
+//  - all working state lives in scratch_, cleared (not freed) between
+//    batches: steady-state routing performs no heap allocation.
+// ---------------------------------------------------------------------------
+void HermesRouter::RouteSegmentOptimized(
+    const std::vector<const TxnRequest*>& txns, std::vector<RoutedTxn>* out) {
+  const int32_t b = static_cast<int32_t>(txns.size());
+  if (b == 0) return;
+  const int32_t n = num_active_nodes();
+  assert(n > 0);
+  RouterScratch& s = scratch_;
+
+  // Dense index over active nodes (active_nodes_ is sorted ascending);
+  // -1 for nodes outside the active set.
+  auto node_index = [&](NodeId node) -> int32_t {
+    const auto it =
+        std::lower_bound(active_nodes_.begin(), active_nodes_.end(), node);
+    if (it == active_nodes_.end() || *it != node) return -1;
+    return static_cast<int32_t>(it - active_nodes_.begin());
+  };
+
+  // ---- Intern this segment's keys to dense ids. ----
+  s.interner.BeginBatch();
+  s.read_span.resize(b);
+  s.write_span.resize(b);
+  int32_t max_reads = 0;
+  for (int32_t j = 0; j < b; ++j) {
+    s.read_span[j] = s.interner.AddSet(txns[j]->read_set);
+    s.write_span[j] = s.interner.AddSet(txns[j]->write_set);
+    max_reads = std::max(max_reads, s.read_span[j].size());
+  }
+  s.interner.Seal();
+  const int32_t num_keys = s.interner.num_keys();
+
+  // Pre-batch owner of every key. Sound to cache: ownership_ is only
+  // mutated by Materialize / special transactions, which run after
+  // Steps 1–3 of this segment complete.
+  s.base_owner.resize(num_keys);
+  s.base_owner_idx.resize(num_keys);
+  s.cur_owner.resize(num_keys);
+  s.cur_owner_idx.resize(num_keys);
+  for (int32_t id = 0; id < num_keys; ++id) {
+    const NodeId owner = ownership_->Owner(s.interner.KeyOf(id));
+    s.base_owner[id] = owner;
+    s.base_owner_idx[id] = node_index(owner);
+    s.cur_owner[id] = owner;
+    s.cur_owner_idx[id] = s.base_owner_idx[id];
+  }
+
+  // key id -> candidates reading / writing it (ascending candidate index,
+  // because the fill pass walks candidates in order).
+  s.readers_of.Reset(num_keys);
+  s.writers_of.Reset(num_keys);
+  for (int32_t j = 0; j < b; ++j) {
+    for (int32_t id : s.interner.IdsOf(s.read_span[j])) {
+      s.readers_of.CountItem(id);
+    }
+    for (int32_t id : s.interner.IdsOf(s.write_span[j])) {
+      s.writers_of.CountItem(id);
+    }
+  }
+  s.readers_of.CommitCounts();
+  s.writers_of.CommitCounts();
+  for (int32_t j = 0; j < b; ++j) {
+    for (int32_t id : s.interner.IdsOf(s.read_span[j])) {
+      s.readers_of.Fill(id, j);
+    }
+    for (int32_t id : s.interner.IdsOf(s.write_span[j])) {
+      s.writers_of.Fill(id, j);
+    }
+  }
+
+  // ---- Step 1: order and route requests by minimizing remote reads. ----
+  s.read_cnt.assign(static_cast<size_t>(b) * n, 0);
+  s.write_cnt.assign(static_cast<size_t>(b) * n, 0);
+  s.best_idx.resize(b);
+  s.best_remote.resize(b);
+  s.placed.assign(b, 0);
+
+  auto compute_best = [&](int32_t j) {
+    const int32_t nreads = s.read_span[j].size();
+    const int32_t* rc = s.read_cnt.data() + static_cast<size_t>(j) * n;
+    const int32_t* wc = s.write_cnt.data() + static_cast<size_t>(j) * n;
+    int32_t best_idx = 0;
+    int32_t best_remote = nreads + 1;
+    int32_t best_wlocal = -1;
+    for (int32_t i = 0; i < n; ++i) {
+      const int32_t remote = nreads - rc[i];
+      const int32_t wlocal = wc[i];
+      // Ties: prefer more local write keys, then the lower node id (scan
+      // order is ascending node id, so strict improvement keeps it).
+      if (remote < best_remote ||
+          (remote == best_remote && wlocal > best_wlocal)) {
+        best_remote = remote;
+        best_wlocal = wlocal;
+        best_idx = i;
+      }
+    }
+    s.best_idx[j] = best_idx;
+    s.best_remote[j] = best_remote;
+  };
+
+  for (int32_t j = 0; j < b; ++j) {
+    int32_t* rc = s.read_cnt.data() + static_cast<size_t>(j) * n;
+    int32_t* wc = s.write_cnt.data() + static_cast<size_t>(j) * n;
+    for (int32_t id : s.interner.IdsOf(s.read_span[j])) {
+      const int32_t oi = s.cur_owner_idx[id];
+      if (oi >= 0) ++rc[oi];
+    }
+    for (int32_t id : s.interner.IdsOf(s.write_span[j])) {
+      const int32_t oi = s.cur_owner_idx[id];
+      if (oi >= 0) ++wc[oi];
+    }
+    compute_best(j);
+  }
+
+  // Every best_remote is in [0, max_reads]: candidates live in a bucket
+  // per remote-read count, re-pushed on rescore, stale entries dropped at
+  // pop time. With reordering ablated, placement follows sequencer order
+  // and the queue is unused.
+  const bool reorder = config_.enable_reorder;
+  if (reorder) {
+    s.bucket_queue.Reset(max_reads + 1);
+    for (int32_t j = 0; j < b; ++j) s.bucket_queue.Push(s.best_remote[j], j);
+  }
+
+  s.order.clear();
+  s.route.assign(b, kInvalidNode);
+  s.route_idx.assign(b, -1);
+
+  auto rescore = [&](int32_t t, int32_t old_idx, int32_t new_idx,
+                     std::vector<int32_t>& cnt) {
+    int32_t* c = cnt.data() + static_cast<size_t>(t) * n;
+    if (old_idx >= 0) --c[old_idx];
+    ++c[new_idx];
+    const int32_t prev_remote = s.best_remote[t];
+    compute_best(t);
+    if (reorder && s.best_remote[t] != prev_remote) {
+      s.bucket_queue.Push(s.best_remote[t], t);
+    }
+  };
+
+  for (int32_t step = 0; step < b; ++step) {
+    // Pick the unplaced candidate with the fewest remote reads; ties go
+    // to the earliest submission (the bucket heaps pop ascending index).
+    const int32_t pick =
+        reorder ? s.bucket_queue.Pop([&](int32_t idx, int32_t v) {
+          return !s.placed[idx] && s.best_remote[idx] == v;
+        })
+                : step;
+    s.placed[pick] = 1;
+    const int32_t x_idx = s.best_idx[pick];
+    const NodeId x = active_nodes_[x_idx];
+    s.route[pick] = x;
+    s.route_idx[pick] = x_idx;
+    s.order.push_back(pick);
+
+    // Data fusion: the write-set keys of the placed transaction move to
+    // its route, which re-scores transactions that touch those keys.
+    for (int32_t id : s.interner.IdsOf(s.write_span[pick])) {
+      if (s.cur_owner[id] == x) continue;
+      const int32_t old_idx = s.cur_owner_idx[id];
+      s.cur_owner[id] = x;
+      s.cur_owner_idx[id] = x_idx;
+      for (int32_t r : s.readers_of.Items(id)) {
+        if (!s.placed[r]) rescore(r, old_idx, x_idx, s.read_cnt);
+      }
+      for (int32_t w : s.writers_of.Items(id)) {
+        if (!s.placed[w]) rescore(w, old_idx, x_idx, s.write_cnt);
+      }
+    }
+  }
+
+  // ---- Step 2: loads, threshold, overloaded / underloaded sets. ----
+  const auto theta = static_cast<int64_t>(
+      std::ceil(static_cast<double>(b) / n * (1.0 + config_.alpha)));
+  s.load.assign(n, 0);
+  for (int32_t j = 0; j < b; ++j) ++s.load[s.route_idx[j]];
+  bool any_over = false;
+  for (int32_t i = 0; i < n; ++i) any_over |= s.load[i] > theta;
+
+  // ---- Step 3: backward rerouting off overloaded nodes. ----
+  if (any_over && config_.enable_rebalance) {
+    // Reader / writer positions per key id, ascending B' position.
+    s.pos_readers.Reset(num_keys);
+    s.pos_writers.Reset(num_keys);
+    for (int32_t p = 0; p < b; ++p) {
+      const int32_t j = s.order[p];
+      for (int32_t id : s.interner.IdsOf(s.read_span[j])) {
+        s.pos_readers.CountItem(id);
+      }
+      for (int32_t id : s.interner.IdsOf(s.write_span[j])) {
+        s.pos_writers.CountItem(id);
+      }
+    }
+    s.pos_readers.CommitCounts();
+    s.pos_writers.CommitCounts();
+    for (int32_t p = 0; p < b; ++p) {
+      const int32_t j = s.order[p];
+      for (int32_t id : s.interner.IdsOf(s.read_span[j])) {
+        s.pos_readers.Fill(id, p);
+      }
+      for (int32_t id : s.interner.IdsOf(s.write_span[j])) {
+        s.pos_writers.Fill(id, p);
+      }
+    }
+
+    // Dense node index of key id's placement just before position pos:
+    // the latest earlier writer's (live) route, else the pre-batch owner.
+    auto owner_idx_at = [&](int32_t pos, int32_t id) -> int32_t {
+      const auto ws = s.pos_writers.Items(id);
+      const auto lb = std::lower_bound(ws.begin(), ws.end(), pos);
+      if (lb != ws.begin()) return s.route_idx[s.order[*std::prev(lb)]];
+      return s.base_owner_idx[id];
+    };
+
+    for (int delta = 1; delta <= config_.max_delta; ++delta) {
+      bool still_over = false;
+      for (int32_t step = 0; step < b; ++step) {
+        const int32_t p = config_.backward_pass ? b - 1 - step : step;
+        const int32_t j = s.order[p];
+        const int32_t from_idx = s.route_idx[j];
+        if (s.load[from_idx] <= theta) continue;  // not overloaded
+
+        // Histogram over the move's "edge nodes": the owner feeding each
+        // of this txn's reads, plus the routes of later readers inside
+        // each write key's window (up to the next writer). Moving the txn
+        // from `from` to `to` changes the remote-edge count by
+        //   sum over edge nodes of (node != to) - (node != from)
+        //     = hist[from] - hist[to],
+        // so one O(keys) histogram prices all n candidate destinations.
+        // Nodes outside the active set contribute to neither side.
+        s.edge_hist.assign(n, 0);
+        for (int32_t id : s.interner.IdsOf(s.read_span[j])) {
+          const int32_t at = owner_idx_at(p, id);
+          if (at >= 0) ++s.edge_hist[at];
+        }
+        for (int32_t id : s.interner.IdsOf(s.write_span[j])) {
+          const auto ws = s.pos_writers.Items(id);
+          const auto self = std::upper_bound(ws.begin(), ws.end(), p);
+          const int32_t limit = self == ws.end() ? b : *self;
+          const auto rs = s.pos_readers.Items(id);
+          for (auto it = std::upper_bound(rs.begin(), rs.end(), p);
+               it != rs.end() && *it <= limit; ++it) {
+            ++s.edge_hist[s.route_idx[s.order[*it]]];
+          }
+        }
+
+        const int32_t c_from = s.edge_hist[from_idx];
+        int32_t best_cost = 0;
+        int32_t best_u = -1;
+        for (int32_t u = 0; u < n; ++u) {
+          if (s.load[u] >= theta) continue;  // not underloaded
+          const int32_t cost = c_from - s.edge_hist[u];
+          if (best_u < 0 || cost < best_cost) {
+            best_u = u;
+            best_cost = cost;
+          }
+        }
+        if (best_u >= 0 && best_cost <= delta) {
+          --s.load[from_idx];
+          ++s.load[best_u];
+          s.route[j] = active_nodes_[best_u];
+          s.route_idx[j] = best_u;
+          ++stats_.reroutes;
+        }
+      }
+      for (int32_t i = 0; i < n; ++i) still_over |= s.load[i] > theta;
+      if (!still_over) break;
+    }
+  }
+
+  // ---- Final pass: materialize plans against the live ownership map. ----
+  for (int32_t p = 0; p < b; ++p) {
+    const int32_t j = s.order[p];
+    if (j != p) ++stats_.reorders;
+    out->push_back(Materialize(*txns[j], s.route[j]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the straightforward transcription of Algorithm 1,
+// kept as the oracle for hermes_equivalence_test (and selectable via
+// HermesConfig::use_reference_routing for debugging / benchmarking).
+// ---------------------------------------------------------------------------
+void HermesRouter::RouteSegmentReference(
+    const std::vector<const TxnRequest*>& txns, std::vector<RoutedTxn>* out) {
   const size_t b = txns.size();
   if (b == 0) return;
   const int n = num_active_nodes();
@@ -157,6 +469,9 @@ void HermesRouter::RouteSegment(const std::vector<const TxnRequest*>& txns,
 
     // Data fusion: the write-set keys of the placed transaction move to
     // its route, which re-scores transactions that touch those keys.
+    // Lookups use find(): operator[] would insert empty lists for
+    // write-only keys from inside the hot loop (wasted churn, and a map
+    // mutation the optimized path has no reason to mirror).
     for (Key k : c.writes) {
       const NodeId old_owner = view_owner(k);
       if (old_owner == x) continue;
@@ -164,17 +479,21 @@ void HermesRouter::RouteSegment(const std::vector<const TxnRequest*>& txns,
       const auto old_it = node_index.find(old_owner);
       const int old_idx = old_it == node_index.end() ? -1 : old_it->second;
       const int new_idx = c.best_idx;
-      for (int r : readers_of[k]) {
-        if (cands[r].placed) continue;
-        if (old_idx >= 0) --cands[r].read_cnt[old_idx];
-        ++cands[r].read_cnt[new_idx];
-        compute_best(cands[r]);
+      if (const auto rit = readers_of.find(k); rit != readers_of.end()) {
+        for (int r : rit->second) {
+          if (cands[r].placed) continue;
+          if (old_idx >= 0) --cands[r].read_cnt[old_idx];
+          ++cands[r].read_cnt[new_idx];
+          compute_best(cands[r]);
+        }
       }
-      for (int w : writers_of[k]) {
-        if (cands[w].placed) continue;
-        if (old_idx >= 0) --cands[w].write_cnt[old_idx];
-        ++cands[w].write_cnt[new_idx];
-        compute_best(cands[w]);
+      if (const auto wit = writers_of.find(k); wit != writers_of.end()) {
+        for (int w : wit->second) {
+          if (cands[w].placed) continue;
+          if (old_idx >= 0) --cands[w].write_cnt[old_idx];
+          ++cands[w].write_cnt[new_idx];
+          compute_best(cands[w]);
+        }
       }
     }
   }
@@ -223,7 +542,11 @@ void HermesRouter::RouteSegment(const std::vector<const TxnRequest*>& txns,
         added += static_cast<int>(at != to) - static_cast<int>(at != from);
       }
       for (Key k : cands[j].writes) {
-        const auto& ws = pos_writers[k];
+        // find(), not operator[]: the map must not grow mid-scan (the
+        // entry always exists — this txn writes k, so k was indexed).
+        const auto wit = pos_writers.find(k);
+        assert(wit != pos_writers.end());
+        const auto& ws = wit->second;
         auto self = std::upper_bound(ws.begin(), ws.end(), pos);
         const int limit = self == ws.end() ? static_cast<int>(b) : *self;
         auto rit = pos_readers.find(k);
@@ -282,7 +605,8 @@ RoutedTxn HermesRouter::Materialize(const TxnRequest& txn, NodeId x) {
   rt.masters = {x};
   ++stats_.routed_txns;
 
-  const auto merged = MergedAccessSet(txn);
+  auto& merged = scratch_.merged;
+  MergedAccessSetInto(txn, &merged);
   rt.accesses.reserve(merged.size());
   for (const auto& [k, is_write] : merged) {
     const NodeId cur = ownership_->Owner(k);
@@ -302,12 +626,16 @@ RoutedTxn HermesRouter::Materialize(const TxnRequest& txn, NodeId x) {
   // Fusion-table maintenance: write keys now live at the route (entries
   // exist only for keys away from home); read hits refresh LRU recency.
   // The transaction's own write keys are pinned against eviction — they
-  // are mid-migration to the master and cannot also ship home.
-  std::unordered_set<Key> pinned;
+  // are mid-migration to the master and cannot also ship home. `merged`
+  // is key-sorted, so the filtered write-key list stays sorted and the
+  // fusion table can binary-search it.
+  auto& pinned = scratch_.pinned;
+  pinned.clear();
   for (const auto& [k, is_write] : merged) {
-    if (is_write) pinned.insert(k);
+    if (is_write) pinned.push_back(k);
   }
-  std::vector<Key> evicted;
+  auto& evicted = scratch_.evicted;
+  evicted.clear();
   for (const auto& [k, is_write] : merged) {
     if (!is_write) {
       fusion_table_.Lookup(k, /*touch=*/true);
@@ -317,7 +645,7 @@ RoutedTxn HermesRouter::Materialize(const TxnRequest& txn, NodeId x) {
       fusion_table_.Erase(k);
       ownership_->ClearKeyOwner(k);
     } else {
-      fusion_table_.PutPinned(k, x, pinned, &evicted);
+      fusion_table_.PutPinned(k, x, std::span<const Key>(pinned), &evicted);
       ownership_->SetKeyOwner(k, x);
     }
   }

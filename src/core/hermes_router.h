@@ -7,6 +7,7 @@
 
 #include "common/config.h"
 #include "core/fusion_table.h"
+#include "routing/batch_scratch.h"
 #include "routing/router.h"
 
 namespace hermes::core {
@@ -57,9 +58,21 @@ class HermesRouter : public routing::Router {
 
  private:
   /// Routes one run of regular transactions (special transactions act as
-  /// segment barriers) and appends the plans.
+  /// segment barriers) and appends the plans. Dispatches to the optimized
+  /// implementation unless `config_.use_reference_routing` is set.
   void RouteSegment(const std::vector<const TxnRequest*>& txns,
                     std::vector<routing::RoutedTxn>* out);
+
+  /// O(b log b + R·n) fast path: keys interned to dense ids, Step 1
+  /// selection via a lazy bucket queue, all per-batch state in scratch_
+  /// (cleared, not freed, between batches — zero steady-state allocation).
+  void RouteSegmentOptimized(const std::vector<const TxnRequest*>& txns,
+                             std::vector<routing::RoutedTxn>* out);
+
+  /// Straightforward O(b²·n) reference (the original implementation),
+  /// kept as the equivalence-test oracle.
+  void RouteSegmentReference(const std::vector<const TxnRequest*>& txns,
+                             std::vector<routing::RoutedTxn>* out);
 
   /// Materializes the plan for one placed transaction against the live
   /// ownership map and applies its fusion-table updates (including
@@ -78,6 +91,48 @@ class HermesRouter : public routing::Router {
   HermesConfig config_;
   FusionTable fusion_table_;
   Stats stats_;
+
+  /// Per-batch working set of the optimized RouteSegment and Materialize,
+  /// owned by the router so capacity persists across batches. Every
+  /// container is reset with clear()/assign() — steady-state routing does
+  /// no heap allocation on the hot path.
+  struct RouterScratch {
+    routing::KeyInterner interner;
+    // Per-candidate key sets as arena spans (reads, then writes).
+    std::vector<routing::Span> read_span;
+    std::vector<routing::Span> write_span;
+    // Per-key (dense id) ownership view: the pre-batch owner and the
+    // evolving Step-1 placement P_i, as NodeId and as dense node index
+    // (-1 when the owner is not an active node).
+    std::vector<NodeId> base_owner;
+    std::vector<int32_t> base_owner_idx;
+    std::vector<NodeId> cur_owner;
+    std::vector<int32_t> cur_owner_idx;
+    // key id -> candidate indexes reading / writing it.
+    routing::Csr readers_of;
+    routing::Csr writers_of;
+    // Per-candidate local-key counts per node, flattened to b*n.
+    std::vector<int32_t> read_cnt;
+    std::vector<int32_t> write_cnt;
+    std::vector<int32_t> best_idx;
+    std::vector<int32_t> best_remote;
+    std::vector<uint8_t> placed;
+    routing::BucketQueue bucket_queue;
+    // Step-1 output: candidate index by B' position; route per candidate.
+    std::vector<int32_t> order;
+    std::vector<NodeId> route;
+    std::vector<int32_t> route_idx;
+    // Step 2/3 state.
+    std::vector<int64_t> load;
+    routing::Csr pos_readers;
+    routing::Csr pos_writers;
+    std::vector<int32_t> edge_hist;
+    // Materialize scratch.
+    std::vector<std::pair<Key, bool>> merged;
+    std::vector<Key> pinned;
+    std::vector<Key> evicted;
+  };
+  RouterScratch scratch_;
 };
 
 }  // namespace hermes::core

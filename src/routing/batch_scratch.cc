@@ -1,0 +1,17 @@
+#include "routing/batch_scratch.h"
+
+namespace hermes::routing {
+
+void KeyInterner::Seal() {
+  uniq_.assign(arena_.begin(), arena_.end());
+  std::sort(uniq_.begin(), uniq_.end());
+  uniq_.erase(std::unique(uniq_.begin(), uniq_.end()), uniq_.end());
+  ids_.resize(arena_.size());
+  for (size_t i = 0; i < arena_.size(); ++i) {
+    ids_[i] = static_cast<int32_t>(
+        std::lower_bound(uniq_.begin(), uniq_.end(), arena_[i]) -
+        uniq_.begin());
+  }
+}
+
+}  // namespace hermes::routing

@@ -29,10 +29,29 @@ void Router::OnRemoveNode(NodeId node) {
 
 std::vector<std::pair<Key, bool>> Router::MergedAccessSet(
     const TxnRequest& txn) {
-  std::map<Key, bool> merged;
-  for (Key k : txn.read_set) merged.emplace(k, false);
-  for (Key k : txn.write_set) merged[k] = true;
-  return {merged.begin(), merged.end()};
+  std::vector<std::pair<Key, bool>> merged;
+  MergedAccessSetInto(txn, &merged);
+  return merged;
+}
+
+void Router::MergedAccessSetInto(const TxnRequest& txn,
+                                 std::vector<std::pair<Key, bool>>* out) {
+  out->clear();
+  out->reserve(txn.read_set.size() + txn.write_set.size());
+  for (Key k : txn.read_set) out->emplace_back(k, false);
+  for (Key k : txn.write_set) out->emplace_back(k, true);
+  // Sort by (key, mode): within a key run the write entry sorts last, so
+  // keeping each run's final element implements "write wins" — the same
+  // result the old std::map construction produced, without node churn.
+  std::sort(out->begin(), out->end());
+  auto keep = out->begin();
+  for (auto it = out->begin(); it != out->end();) {
+    auto next = it + 1;
+    while (next != out->end() && next->first == it->first) ++next;
+    *keep++ = *(next - 1);
+    it = next;
+  }
+  out->erase(keep, out->end());
 }
 
 NodeId Router::OwnerOf(Key key) const { return ownership_->Owner(key); }

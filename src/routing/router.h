@@ -100,6 +100,12 @@ class Router {
   static std::vector<std::pair<Key, bool>> MergedAccessSet(
       const TxnRequest& txn);
 
+  /// MergedAccessSet into caller-owned storage (cleared, then filled), so
+  /// per-batch hot loops can reuse one scratch vector instead of
+  /// allocating a fresh one per transaction.
+  static void MergedAccessSetInto(const TxnRequest& txn,
+                                  std::vector<std::pair<Key, bool>>* out);
+
   /// Owner of `key` in the live ownership view.
   NodeId OwnerOf(Key key) const;
 

@@ -101,7 +101,7 @@ TEST(FusionTableTest, AllPinnedAllowsTemporaryOverflow) {
   EXPECT_TRUE(evicted.empty());
   EXPECT_EQ(table.size(), 3u);
   // Next unpinned insert sheds the overflow.
-  table.PutPinned(4, 0, {}, &evicted);
+  table.PutPinned(4, 0, std::unordered_set<Key>{}, &evicted);
   EXPECT_EQ(evicted.size(), 2u);
   EXPECT_EQ(table.size(), 2u);
 }
