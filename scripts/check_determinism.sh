@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Multi-salt determinism check, cross-process edition.
+#
+# The in-process determinism_perturbation_test already reruns the workload
+# under several SetHashSalt() values. This wrapper additionally proves the
+# HERMES_HASH_SALT *environment* path: it runs the test binary in separate
+# processes under distinct env salts and requires every DECISION_DIGEST it
+# prints — across all processes and all in-process salts — to be one value.
+# Any difference means some decision depends on hash iteration order.
+#
+# Usage: scripts/check_determinism.sh [build-dir]   (default: build)
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+TEST_BIN="$BUILD_DIR/tests/determinism_perturbation_test"
+
+if [ ! -x "$TEST_BIN" ]; then
+  echo "error: $TEST_BIN not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 2
+fi
+
+# Env salts for the separate processes. 0 is the unsalted default; the
+# others are arbitrary and distinct from the test's in-process constants.
+SALTS="0 0x5bd1e9955bd1e995 0x94d049bb133111eb"
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+for salt in $SALTS; do
+  echo "== HERMES_HASH_SALT=$salt =="
+  HERMES_HASH_SALT="$salt" "$TEST_BIN" \
+    --gtest_filter='DeterminismPerturbationTest.*' | tee -a "$out"
+done
+
+digests="$(sed -n 's/.*DECISION_DIGEST \([0-9a-f]*\) .*/\1/p' "$out" | sort -u)"
+count="$(printf '%s\n' "$digests" | grep -c . || true)"
+
+if [ "$count" -ne 1 ]; then
+  echo "FAIL: expected one decision digest across all salts, got $count:" >&2
+  printf '%s\n' "$digests" >&2
+  exit 1
+fi
+
+echo "OK: decision digest $digests identical across all env and in-process salts"

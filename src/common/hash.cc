@@ -1,0 +1,25 @@
+#include "common/hash.h"
+
+#include <cstdlib>
+
+namespace hermes {
+namespace detail {
+namespace {
+
+uint64_t SaltFromEnv() {
+  const char* env = std::getenv("HERMES_HASH_SALT");
+  if (env == nullptr || *env == '\0') return 0;
+  return std::strtoull(env, nullptr, 0);
+}
+
+}  // namespace
+
+uint64_t g_hash_salt = SaltFromEnv();
+
+}  // namespace detail
+
+uint64_t HashSalt() { return detail::g_hash_salt; }
+
+void SetHashSalt(uint64_t salt) { detail::g_hash_salt = salt; }
+
+}  // namespace hermes

@@ -45,12 +45,12 @@ void FusionTable::Put(Key key, NodeId node, std::vector<Key>* evicted) {
     Key victim = order_.front();
     order_.pop_front();
     entries_.erase(victim);
+    if (digest_ != nullptr) digest_->Mix(victim);
     evicted->push_back(victim);
   }
 }
 
-void FusionTable::PutPinned(Key key, NodeId node,
-                            const std::unordered_set<Key>& pinned,
+void FusionTable::PutPinned(Key key, NodeId node, const HashSet<Key>& pinned,
                             std::vector<Key>* evicted) {
   PutPinnedImpl(
       key, node, [&](Key k) { return pinned.contains(k); }, evicted);
@@ -89,6 +89,7 @@ void FusionTable::PutPinnedImpl(Key key, NodeId node, PinnedFn&& is_pinned,
     const Key evictee = *victim;
     victim = order_.erase(victim);
     entries_.erase(evictee);
+    if (digest_ != nullptr) digest_->Mix(evictee);
     evicted->push_back(evictee);
   }
 }
@@ -104,7 +105,7 @@ std::vector<Key> FusionTable::ExportOrder() const {
   return {order_.begin(), order_.end()};
 }
 
-void FusionTable::Restore(const std::unordered_map<Key, NodeId>& entries,
+void FusionTable::Restore(const HashMap<Key, NodeId>& entries,
                           const std::vector<Key>& order) {
   entries_.clear();
   order_.clear();
@@ -116,6 +117,7 @@ void FusionTable::Restore(const std::unordered_map<Key, NodeId>& entries,
 
 uint64_t FusionTable::Checksum() const {
   uint64_t sum = 0;
+  // detlint:allow(unordered-iter) order-insensitive XOR fold, not a decision
   for (const auto& [key, entry] : entries_) {
     sum ^= Mix64(Mix64(key) ^ static_cast<uint64_t>(entry.node + 7));
   }

@@ -4,11 +4,11 @@
 #include <list>
 #include <optional>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.h"
+#include "common/digest.h"
+#include "common/hash.h"
 #include "common/types.h"
 
 namespace hermes::core {
@@ -51,8 +51,7 @@ class FusionTable {
   /// router pins the current transaction's write-set: those records are
   /// mid-migration to the master and must not simultaneously be shipped
   /// home). If every entry is pinned the table temporarily overflows.
-  void PutPinned(Key key, NodeId node,
-                 const std::unordered_set<Key>& pinned,
+  void PutPinned(Key key, NodeId node, const HashSet<Key>& pinned,
                  std::vector<Key>* evicted);
 
   /// PutPinned over a sorted pinned-key span (binary-searched), so callers
@@ -70,12 +69,17 @@ class FusionTable {
   std::vector<Key> ExportOrder() const;
 
   /// Rebuilds contents and order from a checkpoint.
-  void Restore(const std::unordered_map<Key, NodeId>& entries,
+  void Restore(const HashMap<Key, NodeId>& entries,
                const std::vector<Key>& order);
 
   /// Order-insensitive digest of the table contents; used by determinism
   /// tests to compare scheduler replicas.
   uint64_t Checksum() const;
+
+  /// Attaches a decision digest: every eviction victim is mixed in, in
+  /// eviction order (evictions are routing decisions — they append
+  /// migration accesses to the current transaction's plan).
+  void set_digest(DecisionDigest* digest) { digest_ = digest; }
 
  private:
   struct Entry {
@@ -92,7 +96,8 @@ class FusionTable {
   size_t capacity_;
   EvictionPolicy policy_;
   std::list<Key> order_;  // front = oldest / next eviction victim
-  std::unordered_map<Key, Entry> entries_;
+  HashMap<Key, Entry> entries_;
+  DecisionDigest* digest_ = nullptr;
 };
 
 }  // namespace hermes::core

@@ -4,7 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <span>
-#include <unordered_map>
+
+#include "common/hash.h"
 
 namespace hermes::core {
 namespace {
@@ -72,7 +73,7 @@ void HermesRouter::RouteSegment(const std::vector<const TxnRequest*>& txns,
 //
 // The reference implementation below is O(b²·n) per segment: every Step-1
 // placement rescans all b candidates, and all per-key state (`view`,
-// `readers_of`, `pos_readers`, ...) lives in per-batch unordered_maps.
+// `readers_of`, `pos_readers`, ...) lives in per-batch hash maps.
 // This path computes the bit-for-bit identical plan in
 // O((K + b + R)·log + R·n) where K is the number of distinct keys and R the
 // number of fusion rescores:
@@ -377,7 +378,7 @@ void HermesRouter::RouteSegmentReference(
   assert(n > 0);
 
   // Dense index over active nodes (active_nodes_ is sorted ascending).
-  std::unordered_map<NodeId, int> node_index;
+  HashMap<NodeId, int> node_index;
   for (int i = 0; i < n; ++i) node_index[active_nodes_[i]] = i;
 
   // ---- Step 1: order and route requests by minimizing remote reads. ----
@@ -393,14 +394,14 @@ void HermesRouter::RouteSegmentReference(
   std::vector<Cand> cands(b);
 
   // Placements made so far in this segment (write keys follow their route).
-  std::unordered_map<Key, NodeId> view;
+  HashMap<Key, NodeId> view;
   auto view_owner = [&](Key k) -> NodeId {
     auto it = view.find(k);
     return it != view.end() ? it->second : ownership_->Owner(k);
   };
 
-  std::unordered_map<Key, std::vector<int>> readers_of;
-  std::unordered_map<Key, std::vector<int>> writers_of;
+  HashMap<Key, std::vector<int>> readers_of;
+  HashMap<Key, std::vector<int>> writers_of;
 
   auto compute_best = [&](Cand& c) {
     int best_idx = 0;
@@ -514,8 +515,8 @@ void HermesRouter::RouteSegmentReference(
   // ---- Step 3: backward rerouting off overloaded nodes. ----
   if (any_over && config_.enable_rebalance) {
     // Reader / writer positions per key, in B' position order.
-    std::unordered_map<Key, std::vector<int>> pos_readers;
-    std::unordered_map<Key, std::vector<int>> pos_writers;
+    HashMap<Key, std::vector<int>> pos_readers;
+    HashMap<Key, std::vector<int>> pos_writers;
     for (size_t p = 0; p < b; ++p) {
       const Cand& c = cands[order[p]];
       for (Key k : c.reads) pos_readers[k].push_back(static_cast<int>(p));

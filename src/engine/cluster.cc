@@ -51,11 +51,18 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
       sequencer_(&sim_, &config_,
                  [this](Batch&& batch) { OnBatchSequenced(std::move(batch)); }),
       scheduler_(&sim_, router_.get(), &executor_, &command_log_, &config_,
-                 [this](const TxnRequest& txn) { return ResolveCallback(txn); }) {
+                 [this](const TxnRequest& txn) { return ResolveCallback(txn); },
+                 &digest_) {
   nodes_.reserve(config_.num_nodes);
   for (NodeId i = 0; i < config_.num_nodes; ++i) {
     nodes_.push_back(
         std::make_unique<Node>(i, &sim_, config_.workers_per_node));
+  }
+  sim_.set_decision_digest(&digest_);
+  if (kind_ == RouterKind::kHermes) {
+    static_cast<core::HermesRouter*>(router_.get())
+        ->mutable_fusion_table()
+        .set_digest(&digest_);
   }
 }
 
@@ -165,6 +172,7 @@ void Cluster::SampleWindow() {
   const uint64_t total = net_.total_bytes();
   metrics_.RecordNetBytes(stamp, total - sampled_net_bytes_);
   sampled_net_bytes_ = total;
+  metrics_.RecordDecisionDigest(stamp, digest_.value());
 }
 
 void Cluster::RunUntil(SimTime deadline) {
@@ -340,6 +348,7 @@ void Cluster::ReplayBatches(const std::vector<Batch>& batches) {
 uint64_t Cluster::StateChecksum() const {
   uint64_t sum = 0;
   for (size_t node = 0; node < nodes_.size(); ++node) {
+    // detlint:allow(unordered-iter) order-insensitive XOR fold, not a decision
     for (const auto& [key, r] : nodes_[node]->store().records()) {
       sum ^= Mix64(Mix64(key) ^ r.value ^
                    (static_cast<uint64_t>(r.version) << 32) ^

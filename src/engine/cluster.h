@@ -4,10 +4,11 @@
 #include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
+#include "common/digest.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "core/fusion_table.h"
@@ -168,6 +169,13 @@ class Cluster {
   /// Fusion table, or nullptr unless running the Hermes router.
   const core::FusionTable* fusion_table() const;
 
+  /// Running digest over the cluster's decision stream: router placements,
+  /// fusion-table evictions, and every event-queue pop. Identical seeded
+  /// runs must produce identical digests under every HERMES_HASH_SALT —
+  /// determinism_perturbation_test and scripts/check_determinism.sh assert
+  /// this, catching hash-iteration-order leaks at runtime.
+  const DecisionDigest& decision_digest() const { return digest_; }
+
  private:
   void SubmitWithReconnaissance(TxnRequest txn,
                                 TxnExecutor::CommitCallback on_commit);
@@ -182,6 +190,9 @@ class Cluster {
 
   ClusterConfig config_;
   RouterKind kind_;
+  /// Declared before sim_/scheduler_ so the components it is wired into
+  /// outlive none of their digest writes.
+  DecisionDigest digest_;
   sim::Simulator sim_;
   Metrics metrics_;
   sim::Network net_;
@@ -193,7 +204,7 @@ class Cluster {
   Sequencer sequencer_;
   Scheduler scheduler_;
 
-  std::unordered_map<TxnId, TxnExecutor::CommitCallback> pending_callbacks_;
+  HashMap<TxnId, TxnExecutor::CommitCallback> pending_callbacks_;
 
   std::deque<TxnRequest> chunk_queue_;
   bool chunk_in_flight_ = false;

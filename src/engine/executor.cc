@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <tuple>
 
 namespace hermes::engine {
 namespace {
@@ -504,6 +505,7 @@ std::string TxnExecutor::DebugString() const {
   char buf[256];
   std::vector<TxnId> ids;
   ids.reserve(actives_.size());
+  // detlint:allow(unordered-iter) id collection, sorted just below
   for (const auto& [id, a] : actives_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   for (TxnId id : ids) {
@@ -540,10 +542,17 @@ std::string TxnExecutor::DebugString() const {
       out += buf;
     }
   }
+  // Sorted so the diagnostic is stable across runs and hash salts.
+  std::vector<std::tuple<NodeId, Key, size_t>> waits;
+  waits.reserve(presence_waiters_.size());
+  // detlint:allow(unordered-iter) collection only; sorted just below
   for (const auto& [pk, waiters] : presence_waiters_) {
+    waits.emplace_back(pk.node, pk.key, waiters.size());
+  }
+  std::sort(waits.begin(), waits.end());
+  for (const auto& [node, key, count] : waits) {
     std::snprintf(buf, sizeof(buf), "presence wait: node=%d key=%llu (%zu)\n",
-                  pk.node, static_cast<unsigned long long>(pk.key),
-                  waiters.size());
+                  node, static_cast<unsigned long long>(key), count);
     out += buf;
   }
   return out;

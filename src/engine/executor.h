@@ -4,11 +4,11 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/config.h"
+#include "common/hash.h"
 #include "common/types.h"
 #include "engine/metrics.h"
 #include "engine/node.h"
@@ -149,7 +149,7 @@ class TxnExecutor {
   const CostModel* costs_;
   std::vector<std::unique_ptr<Node>>* nodes_;
 
-  std::unordered_map<TxnId, std::unique_ptr<Active>> actives_;
+  HashMap<TxnId, std::unique_ptr<Active>> actives_;
 
   struct PresenceKey {
     NodeId node;
@@ -162,8 +162,7 @@ class TxnExecutor {
                                    p.key);
     }
   };
-  std::unordered_map<PresenceKey, std::vector<std::function<void()>>,
-                     PresenceHash>
+  HashMap<PresenceKey, std::vector<std::function<void()>>, PresenceHash>
       presence_waiters_;
 
   uint64_t committed_ = 0;

@@ -18,6 +18,11 @@ struct WindowStats {
   uint64_t migrations = 0;           ///< records that changed node
   uint64_t busy_us = 0;              ///< summed worker busy time, all nodes
   uint64_t net_bytes = 0;            ///< wire bytes sent in the window
+  /// DecisionDigest value sampled at the window boundary. A prefix of the
+  /// run's decision stream: two replicas agreeing up to window w have
+  /// identical values here, so the first differing window brackets where
+  /// a determinism divergence happened.
+  uint64_t decision_digest = 0;
 };
 
 /// Log-bucketed latency histogram (4 linear sub-buckets per power of two,
@@ -62,6 +67,8 @@ class Metrics {
   /// Adds worker busy time observed for the window containing `when`.
   void RecordBusy(SimTime when, uint64_t busy_us);
   void RecordNetBytes(SimTime when, uint64_t bytes);
+  /// Snapshots the cluster's decision digest into `when`'s window.
+  void RecordDecisionDigest(SimTime when, uint64_t digest);
 
   SimTime window_us() const { return window_us_; }
   const std::vector<WindowStats>& windows() const { return windows_; }

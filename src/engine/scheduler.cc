@@ -8,13 +8,41 @@ namespace hermes::engine {
 
 Scheduler::Scheduler(sim::Simulator* sim, routing::Router* router,
                      TxnExecutor* executor, storage::CommandLog* command_log,
-                     const ClusterConfig* config, CallbackResolver resolver)
+                     const ClusterConfig* config, CallbackResolver resolver,
+                     DecisionDigest* digest)
     : sim_(sim),
       router_(router),
       executor_(executor),
       command_log_(command_log),
       config_(config),
-      resolver_(std::move(resolver)) {}
+      resolver_(std::move(resolver)),
+      digest_(digest) {}
+
+namespace {
+
+/// Folds one routed transaction's placement decisions into the digest:
+/// the transaction identity, each master, and each access's (key, owner,
+/// migration target, lock mode, shipping) tuple.
+void MixPlacement(DecisionDigest& digest, const routing::RoutedTxn& rt) {
+  digest.Mix(rt.txn.id);
+  for (NodeId m : rt.masters) {
+    digest.Mix(static_cast<uint64_t>(static_cast<uint32_t>(m)) + 1);
+  }
+  for (const routing::Access& a : rt.accesses) {
+    digest.Mix(a.key);
+    digest.Mix((static_cast<uint64_t>(static_cast<uint32_t>(a.owner)) << 32) |
+               static_cast<uint32_t>(a.new_owner));
+    digest.Mix((static_cast<uint64_t>(a.is_write) << 1) |
+               static_cast<uint64_t>(a.ship_to_master));
+  }
+  for (const routing::ReturnShipment& s : rt.on_commit_returns) {
+    digest.Mix(s.key);
+    digest.Mix((static_cast<uint64_t>(static_cast<uint32_t>(s.from)) << 32) |
+               static_cast<uint32_t>(s.to));
+  }
+}
+
+}  // namespace
 
 void Scheduler::OnBatch(Batch&& batch) {
   if (batch.txns.empty()) return;
@@ -25,6 +53,9 @@ void Scheduler::OnBatch(Batch&& batch) {
   // the router state at this point in the total order); its CPU cost plus
   // command logging delays when the executors see the plan.
   routing::RoutePlan plan = router_->RouteBatch(batch);
+  if (digest_ != nullptr) {
+    for (const routing::RoutedTxn& rt : plan.txns) MixPlacement(*digest_, rt);
+  }
   const SimTime log_cost =
       config_->enable_command_log
           ? config_->costs.log_entry_us * batch.txns.size()

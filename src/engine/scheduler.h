@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/config.h"
+#include "common/digest.h"
 #include "engine/executor.h"
 #include "routing/router.h"
 #include "sim/simulator.h"
@@ -30,9 +31,12 @@ class Scheduler {
   /// monitor taps in here).
   using DispatchObserver = std::function<void(const routing::RoutedTxn&)>;
 
+  /// `digest`, when non-null, receives every routing decision (txn id,
+  /// masters, per-access placement) the moment a batch is routed.
   Scheduler(sim::Simulator* sim, routing::Router* router,
             TxnExecutor* executor, storage::CommandLog* command_log,
-            const ClusterConfig* config, CallbackResolver resolver);
+            const ClusterConfig* config, CallbackResolver resolver,
+            DecisionDigest* digest = nullptr);
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -55,6 +59,7 @@ class Scheduler {
   storage::CommandLog* command_log_;
   const ClusterConfig* config_;
   CallbackResolver resolver_;
+  DecisionDigest* digest_;
   DispatchObserver observer_;
   SimTime busy_until_ = 0;
   uint64_t batches_routed_ = 0;

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/types.h"
 
 namespace hermes::partition {
@@ -123,10 +123,10 @@ class OwnershipMap {
   std::vector<std::tuple<Key, Key, NodeId>> ExportIntervals() const;
   void RestoreIntervals(const std::vector<std::tuple<Key, Key, NodeId>>& iv);
 
-  const std::unordered_map<Key, NodeId>& key_overlay() const {
+  const HashMap<Key, NodeId>& key_overlay() const {
     return key_overlay_;
   }
-  void RestoreKeyOverlay(std::unordered_map<Key, NodeId> overlay) {
+  void RestoreKeyOverlay(HashMap<Key, NodeId> overlay) {
     key_overlay_ = std::move(overlay);
   }
 
@@ -137,7 +137,7 @@ class OwnershipMap {
   std::unique_ptr<PartitionMap> base_;
   /// lo -> (hi inclusive, owner); non-overlapping.
   std::map<Key, std::pair<Key, NodeId>> intervals_;
-  std::unordered_map<Key, NodeId> key_overlay_;
+  HashMap<Key, NodeId> key_overlay_;
 };
 
 }  // namespace hermes::partition

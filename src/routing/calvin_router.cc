@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_set>
+
+#include "common/hash.h"
 
 namespace hermes::routing {
 
@@ -51,8 +52,7 @@ RoutedTxn CalvinRouter::RouteOne(const TxnRequest& txn) {
     rt.masters.push_back(node);
   }
 
-  std::unordered_set<Key> read_keys(txn.read_set.begin(),
-                                    txn.read_set.end());
+  HashSet<Key> read_keys(txn.read_set.begin(), txn.read_set.end());
   rt.accesses.reserve(merged.size());
   for (const auto& [k, is_write] : merged) {
     Access a;

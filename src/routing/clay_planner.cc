@@ -35,11 +35,13 @@ std::vector<ClumpMove> ClayPlanner::MaybePlan(SimTime now, int num_nodes) {
 
   // Identify hottest and coldest nodes from the window statistics.
   uint64_t total = 0;
+  // detlint:allow(unordered-iter) order-insensitive commutative sum
   for (const auto& [node, load] : node_load_) total += load;
   const double avg = static_cast<double>(total) / num_nodes;
 
   NodeId hottest = 0;
   uint64_t hottest_load = 0;
+  // detlint:allow(unordered-iter) max under total order (load desc, node asc)
   for (const auto& [node, load] : node_load_) {
     if (load > hottest_load || (load == hottest_load && node < hottest)) {
       hottest = node;
@@ -67,6 +69,7 @@ std::vector<ClumpMove> ClayPlanner::MaybePlan(SimTime now, int num_nodes) {
   // the predicted load excess is covered (or the coldest node would
   // itself become overloaded).
   std::vector<std::pair<uint64_t, uint64_t>> hot_ranges;  // (heat, range)
+  // detlint:allow(unordered-iter) collection only; sorted by total order below
   for (const auto& [range, heat] : range_heat_) {
     const Key probe = range * config_.range_size;
     if (ownership_->Owner(probe) == hottest) hot_ranges.emplace_back(heat, range);

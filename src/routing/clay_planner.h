@@ -2,9 +2,9 @@
 #define HERMES_ROUTING_CLAY_PLANNER_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/types.h"
 #include "partition/partition_map.h"
 #include "txn/transaction.h"
@@ -62,8 +62,8 @@ class ClayPlanner {
   ClayConfig config_;
   uint64_t num_ranges_;
   SimTime window_start_ = 0;
-  std::unordered_map<uint64_t, uint64_t> range_heat_;
-  std::unordered_map<NodeId, uint64_t> node_load_;
+  HashMap<uint64_t, uint64_t> range_heat_;
+  HashMap<NodeId, uint64_t> node_load_;
   uint64_t observed_ = 0;
   uint64_t plans_produced_ = 0;
 };

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
-#include <unordered_map>
+
+#include "common/hash.h"
 
 namespace hermes::routing {
 namespace {
@@ -187,7 +188,7 @@ std::vector<int> PartitionRecursive(const Graph& g, int k, uint64_t cap,
   for (uint32_t v = 0; v < n; ++v) {
     coarse.vertex_weight[coarse_id[v]] += g.vertex_weight[v];
   }
-  std::unordered_map<uint64_t, uint64_t> edges;
+  HashMap<uint64_t, uint64_t> edges;
   for (uint32_t v = 0; v < n; ++v) {
     for (const auto& [u, w] : g.adj[v]) {
       const uint32_t a = coarse_id[v];
@@ -196,6 +197,7 @@ std::vector<int> PartitionRecursive(const Graph& g, int k, uint64_t cap,
       edges[(static_cast<uint64_t>(a) << 32) | b] += w;
     }
   }
+  // detlint:allow(unordered-iter) adjacency fill; every list is sorted below
   for (const auto& [packed, w] : edges) {
     const auto a = static_cast<uint32_t>(packed >> 32);
     const auto b = static_cast<uint32_t>(packed & 0xffffffffULL);

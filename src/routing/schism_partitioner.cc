@@ -41,9 +41,11 @@ std::unique_ptr<partition::PartitionMap> SchismPartitioner::Partition(
   Graph graph;
   graph.vertex_weight.assign(num_ranges_, 1);  // never leave a range weightless
   graph.adj.assign(num_ranges_, {});
+  // detlint:allow(unordered-iter) commutative sums into indexed slots
   for (const auto& [range, weight] : range_weight_) {
     if (range < num_ranges_) graph.vertex_weight[range] += weight;
   }
+  // detlint:allow(unordered-iter) adjacency fill; every list is sorted below
   for (const auto& [packed, weight] : edge_weight_) {
     const auto a = static_cast<uint32_t>(packed >> 32);
     const auto b = static_cast<uint32_t>(packed & 0xffffffffULL);

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/hash.h"
 #include "partition/partition_map.h"
 #include "txn/transaction.h"
 
@@ -40,9 +40,9 @@ class SchismPartitioner {
   uint64_t num_records_;
   uint64_t range_size_;
   uint64_t num_ranges_;
-  std::unordered_map<uint64_t, uint64_t> range_weight_;
+  HashMap<uint64_t, uint64_t> range_weight_;
   /// (lo_range << 32 | hi_range) -> co-access count.
-  std::unordered_map<uint64_t, uint64_t> edge_weight_;
+  HashMap<uint64_t, uint64_t> edge_weight_;
   uint64_t observed_ = 0;
 };
 

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <climits>
 #include <cmath>
-#include <unordered_map>
 #include <vector>
+
+#include "common/hash.h"
 
 namespace hermes::routing {
 
@@ -21,13 +22,13 @@ RoutePlan TPartRouter::RouteBatch(const Batch& batch) {
   const auto theta = static_cast<int64_t>(std::ceil(
       static_cast<double>(batch.txns.size()) / (n == 0 ? 1 : n) *
       (1.0 + alpha_)));
-  std::unordered_map<NodeId, int64_t> load;
+  HashMap<NodeId, int64_t> load;
   for (NodeId node : active_nodes_) load[node] = 0;
 
   /// Where each key is currently readable within this batch: a written key
   /// moves to its writer's master (forward pushing); untouched keys sit at
   /// their static home.
-  std::unordered_map<Key, NodeId> holder;
+  HashMap<Key, NodeId> holder;
   /// Home partition of each borrowed key, the plan index of its last
   /// in-batch accessor (which performs the write-back), and whether that
   /// accessor writes the key.
@@ -36,7 +37,7 @@ RoutePlan TPartRouter::RouteBatch(const Batch& batch) {
     size_t last_user;
     bool last_writes = false;
   };
-  std::unordered_map<Key, Borrow> borrowed;
+  HashMap<Key, Borrow> borrowed;
 
   auto source_of = [&](Key k) -> NodeId {
     auto it = holder.find(k);
@@ -122,6 +123,7 @@ RoutePlan TPartRouter::RouteBatch(const Batch& batch) {
   // deterministic across processes).
   std::vector<Key> borrowed_keys;
   borrowed_keys.reserve(borrowed.size());
+  // detlint:allow(unordered-iter) key collection, sorted before use
   for (const auto& [k, info] : borrowed) {
     (void)info;
     borrowed_keys.push_back(k);

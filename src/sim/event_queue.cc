@@ -9,7 +9,12 @@ void EventQueue::Push(SimTime when, std::function<void()> fn) {
 }
 
 std::function<void()> EventQueue::Pop() {
-  std::function<void()> fn = std::move(heap_.top().fn);
+  const Entry& top = heap_.top();
+  if (digest_ != nullptr) {
+    digest_->Mix(top.when);
+    digest_->Mix(top.seq);
+  }
+  std::function<void()> fn = std::move(top.fn);
   heap_.pop();
   return fn;
 }

@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/digest.h"
 #include "common/types.h"
 
 namespace hermes::sim {
@@ -33,6 +34,11 @@ class EventQueue {
   /// Removes and returns the earliest pending event. Requires !empty().
   std::function<void()> Pop();
 
+  /// Attaches a decision digest: every Pop() mixes the popped entry's
+  /// (when, seq) pair, making the full event firing order part of the
+  /// cluster's DecisionDigest.
+  void set_digest(DecisionDigest* digest) { digest_ = digest; }
+
  private:
   struct Entry {
     SimTime when;
@@ -50,6 +56,7 @@ class EventQueue {
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   uint64_t next_seq_ = 0;
+  DecisionDigest* digest_ = nullptr;
 };
 
 }  // namespace hermes::sim

@@ -37,6 +37,11 @@ class Simulator {
   /// Number of events executed so far (diagnostics).
   uint64_t events_executed() const { return events_executed_; }
 
+  /// Feeds every event pop's (time, seq) into `digest` (see EventQueue).
+  void set_decision_digest(DecisionDigest* digest) {
+    queue_.set_digest(digest);
+  }
+
   bool idle() const { return queue_.empty(); }
 
  private:

@@ -4,9 +4,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/types.h"
 
 namespace hermes::storage {
@@ -74,8 +74,8 @@ class LockManager {
 
   void NoteGranted(TxnId txn, std::vector<TxnId>* newly_granted);
 
-  std::unordered_map<Key, std::deque<Waiter>> queues_;
-  std::unordered_map<TxnId, TxnState> txns_;
+  HashMap<Key, std::deque<Waiter>> queues_;
+  HashMap<TxnId, TxnState> txns_;
 };
 
 }  // namespace hermes::storage

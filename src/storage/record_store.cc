@@ -39,6 +39,7 @@ uint64_t RecordStore::Checksum() const {
   // XOR of per-record digests is order-insensitive, so two stores with the
   // same contents hash equal regardless of hash-map iteration order.
   uint64_t sum = 0;
+  // detlint:allow(unordered-iter) order-insensitive XOR fold, not a decision
   for (const auto& [key, r] : records_) {
     sum ^= Mix64(Mix64(key) ^ r.value ^ (static_cast<uint64_t>(r.version) << 32));
   }

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "common/hash.h"
 #include "common/types.h"
 
 namespace hermes::storage {
@@ -61,10 +61,10 @@ class RecordStore {
   /// recovery equivalence checks).
   uint64_t Checksum() const;
 
-  const std::unordered_map<Key, Record>& records() const { return records_; }
+  const HashMap<Key, Record>& records() const { return records_; }
 
  private:
-  std::unordered_map<Key, Record> records_;
+  HashMap<Key, Record> records_;
 };
 
 }  // namespace hermes::storage

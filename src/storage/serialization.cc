@@ -1,5 +1,6 @@
 #include "storage/serialization.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -217,20 +218,38 @@ Status WriteCheckpoint(const Checkpoint& checkpoint,
   w.U64(kCkptMagic);
   w.U64(checkpoint.next_batch);
   w.U64(checkpoint.next_txn_id);
+  // Checkpoint files must be byte-identical across replicas (and across
+  // HERMES_HASH_SALT values), so hash-map contents are written in sorted
+  // key order, never in iteration order.
   w.U64(checkpoint.stores.size());
-  for (const auto& store : checkpoint.stores) {
+  std::vector<Key> keys;
+  for (const HashMap<Key, Record>& store : checkpoint.stores) {
+    keys.clear();
+    keys.reserve(store.size());
+    // detlint:allow(unordered-iter) key collection, sorted before writing
+    for (const auto& [key, record] : store) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
     w.U64(store.size());
-    for (const auto& [key, record] : store) {
+    for (Key key : keys) {
+      const Record& record = store.at(key);
       w.U64(key);
       w.U64(record.value);
       w.U64(record.last_writer);
       w.U64(record.version);
     }
   }
-  w.U64(checkpoint.ownership_overlay.size());
+  keys.clear();
+  keys.reserve(checkpoint.ownership_overlay.size());
+  // detlint:allow(unordered-iter) key collection, sorted before writing
   for (const auto& [key, node] : checkpoint.ownership_overlay) {
+    (void)node;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  w.U64(checkpoint.ownership_overlay.size());
+  for (Key key : keys) {
     w.U64(key);
-    w.I64(node);
+    w.I64(checkpoint.ownership_overlay.at(key));
   }
   w.U64(checkpoint.intervals.size());
   for (const auto& [lo, hi, node] : checkpoint.intervals) {

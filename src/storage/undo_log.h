@@ -1,9 +1,9 @@
 #ifndef HERMES_STORAGE_UNDO_LOG_H_
 #define HERMES_STORAGE_UNDO_LOG_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/types.h"
 #include "storage/record_store.h"
 
@@ -36,7 +36,7 @@ class UndoLog {
     Key key;
     Record pre_image;
   };
-  std::unordered_map<TxnId, std::vector<Entry>> entries_;
+  HashMap<TxnId, std::vector<Entry>> entries_;
 };
 
 }  // namespace hermes::storage

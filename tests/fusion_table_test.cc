@@ -1,6 +1,6 @@
 #include "core/fusion_table.h"
 
-#include <unordered_set>
+#include "common/hash.h"
 
 #include <gtest/gtest.h>
 
@@ -83,7 +83,7 @@ TEST(FusionTableTest, PinnedKeysSurviveEviction) {
   table.Put(1, 0, &evicted);
   table.Put(2, 0, &evicted);
   table.Put(3, 0, &evicted);
-  std::unordered_set<Key> pinned = {1, 2};
+  HashSet<Key> pinned = {1, 2};
   table.PutPinned(4, 0, pinned, &evicted);
   ASSERT_EQ(evicted.size(), 1u);
   EXPECT_EQ(evicted[0], 3u);  // oldest non-pinned
@@ -94,14 +94,14 @@ TEST(FusionTableTest, PinnedKeysSurviveEviction) {
 TEST(FusionTableTest, AllPinnedAllowsTemporaryOverflow) {
   FusionTable table(2, EvictionPolicy::kLru);
   std::vector<Key> evicted;
-  std::unordered_set<Key> pinned = {1, 2, 3};
+  HashSet<Key> pinned = {1, 2, 3};
   table.PutPinned(1, 0, pinned, &evicted);
   table.PutPinned(2, 0, pinned, &evicted);
   table.PutPinned(3, 0, pinned, &evicted);
   EXPECT_TRUE(evicted.empty());
   EXPECT_EQ(table.size(), 3u);
   // Next unpinned insert sheds the overflow.
-  table.PutPinned(4, 0, std::unordered_set<Key>{}, &evicted);
+  table.PutPinned(4, 0, HashSet<Key>{}, &evicted);
   EXPECT_EQ(evicted.size(), 2u);
   EXPECT_EQ(table.size(), 2u);
 }
@@ -114,7 +114,7 @@ TEST(FusionTableTest, ExportRestoreRoundTripsOrder) {
   table.Put(3, 7, &evicted);
   table.Lookup(1, true);
 
-  std::unordered_map<Key, NodeId> entries = {{1, 5}, {2, 6}, {3, 7}};
+  HashMap<Key, NodeId> entries = {{1, 5}, {2, 6}, {3, 7}};
   FusionTable restored(3, EvictionPolicy::kLru);
   restored.Restore(entries, table.ExportOrder());
   EXPECT_EQ(restored.Checksum(), table.Checksum());
@@ -142,7 +142,7 @@ TEST(FusionTableTest, MultipleEvictionsInOnePut) {
   FusionTable table(5, EvictionPolicy::kFifo);
   std::vector<Key> evicted;
   for (Key k = 0; k < 5; ++k) table.Put(k, 0, &evicted);
-  std::unordered_set<Key> pinned;
+  HashSet<Key> pinned;
   // Overflow by restoring a larger state is impossible; emulate via
   // pinned overflow then release.
   table.PutPinned(5, 0, {0, 1, 2, 3, 4, 5}, &evicted);

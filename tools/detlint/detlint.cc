@@ -1,0 +1,485 @@
+// detlint — determinism lint for the Hermes routing/simulation stack.
+//
+// Hermes' schedulers are replicated deterministic state machines: every
+// replica must reach bit-identical routing, eviction and migration
+// decisions from the same totally ordered input. A single hash-map
+// iteration-order leak, unseeded RNG, or wall-clock read silently breaks
+// replica agreement. This tool scans the source tree for the banned
+// patterns CLAUDE.md's invariants describe:
+//
+//   unordered-iter   range-for / .begin() iteration over a hash container
+//                    (std::unordered_* or hermes::HashMap/HashSet) —
+//                    iteration order is unspecified and salt-dependent
+//   raw-unordered    direct use of std::unordered_map/set instead of the
+//                    salted hermes::HashMap/HashSet aliases (common/hash.h)
+//   std-rand         std::rand / srand (global hidden state, unseeded)
+//   random-device    std::random_device (hardware entropy, unreproducible)
+//   unseeded-rng     std::mt19937 / default_random_engine default-
+//                    constructed (implementation-defined default seed;
+//                    all randomness must flow through seeded hermes::Rng)
+//   wall-clock       chrono clocks / time() / gettimeofday outside src/sim
+//                    (simulated time is the only clock; src/sim is exempt
+//                    as the virtual-time authority)
+//   pointer-order    ordered containers or comparators keyed on pointer
+//                    values (allocation-address order is nondeterministic)
+//
+// A finding is suppressed by an annotation on the same line or the line
+// directly above:
+//
+//   // detlint:allow(<rule>) <justification>
+//
+// The justification is mandatory and every suppression is listed in the
+// report, so allowed exceptions stay reviewable. Exit status: 0 when
+// clean, 1 when unsuppressed findings (or unjustified/unused suppressions)
+// exist, 2 on usage errors.
+//
+// The scanner is textual (comments and string literals are stripped
+// first); it is a tripwire for the patterns above, not a full parser. The
+// runtime complement — hash-salt perturbation plus the DecisionDigest —
+// lives in determinism_perturbation_test and catches what a lexical pass
+// cannot prove absent.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string excerpt;
+};
+
+struct Suppression {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string justification;
+  bool used = false;
+};
+
+struct SourceFile {
+  std::string path;      // as reported (relative to the scan root's parent)
+  std::string stem;      // filename without extension, for .h/.cc pairing
+  bool sim_exempt = false;  // under src/sim/: may own the (virtual) clock
+  std::string stripped;  // comments and string literals blanked out
+  std::vector<size_t> line_starts;  // offset of each line in `stripped`
+  std::vector<Suppression> suppressions;
+};
+
+/// Replaces comments, string literals and char literals with spaces,
+/// preserving newlines so offsets keep mapping to line numbers.
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out = in;
+  enum class St { kCode, kLine, kBlock, kStr, kChar } st = St::kCode;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::kStr;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < in.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < in.size() && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+int LineOf(const SourceFile& f, size_t offset) {
+  auto it = std::upper_bound(f.line_starts.begin(), f.line_starts.end(),
+                             offset);
+  return static_cast<int>(it - f.line_starts.begin());
+}
+
+std::string LineText(const std::string& raw, const SourceFile& f, int line) {
+  const size_t begin = f.line_starts[line - 1];
+  size_t end = raw.find('\n', begin);
+  if (end == std::string::npos) end = raw.size();
+  std::string text = raw.substr(begin, end - begin);
+  const size_t first = text.find_first_not_of(" \t");
+  if (first != std::string::npos) text = text.substr(first);
+  if (text.size() > 90) text = text.substr(0, 87) + "...";
+  return text;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Collects identifiers declared with a hash-container type: the first
+/// identifier following the matched angle-bracket group of
+/// `unordered_map<...>`, `unordered_set<...>`, `HashMap<...>`,
+/// `HashSet<...>`. Catches members, locals, parameters, and accessors
+/// returning (references to) hash containers.
+void CollectHashContainerNames(const SourceFile& f,
+                               std::set<std::string>* names) {
+  static const std::regex kDecl(
+      R"((unordered_map|unordered_set|HashMap|HashSet)\s*<)");
+  const std::string& text = f.stripped;
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    size_t pos = static_cast<size_t>(it->position()) + it->length();
+    int depth = 1;  // just past the opening '<'
+    while (pos < text.size() && depth > 0) {
+      if (text[pos] == '<') ++depth;
+      if (text[pos] == '>') --depth;
+      ++pos;
+    }
+    if (depth != 0) continue;
+    // Skip whitespace and ref/pointer decorations; accept an identifier.
+    while (pos < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '&' || text[pos] == '*')) {
+      ++pos;
+    }
+    // `unordered_map<...>::iterator`, `HashMap<...>(...)` etc. declare
+    // nothing.
+    if (pos >= text.size() || !IsIdentChar(text[pos]) ||
+        std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      continue;
+    }
+    size_t end = pos;
+    while (end < text.size() && IsIdentChar(text[end])) ++end;
+    std::string name = text.substr(pos, end - pos);
+    if (name == "const" || name == "constexpr" || name == "static") continue;
+    names->insert(std::move(name));
+  }
+}
+
+/// Trailing identifier of a range-for sequence expression: handles `name`,
+/// `obj.name`, `ptr->name`, `name()`, `obj.name()`.
+std::string TrailingIdentifier(std::string expr) {
+  while (!expr.empty() &&
+         std::isspace(static_cast<unsigned char>(expr.back()))) {
+    expr.pop_back();
+  }
+  if (expr.size() >= 2 && expr.substr(expr.size() - 2) == "()") {
+    expr = expr.substr(0, expr.size() - 2);
+    while (!expr.empty() &&
+           std::isspace(static_cast<unsigned char>(expr.back()))) {
+      expr.pop_back();
+    }
+  }
+  size_t end = expr.size();
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(expr[begin - 1])) --begin;
+  return expr.substr(begin, end - begin);
+}
+
+class Linter {
+ public:
+  void AddFinding(const SourceFile& f, size_t offset, const std::string& rule,
+                  const std::string& raw) {
+    const int line = LineOf(f, offset);
+    // detlint:allow on the finding's line or the line directly above.
+    for (const Suppression& s : f.suppressions) {
+      if (s.rule == rule && (s.line == line || s.line + 1 == line)) {
+        const_cast<Suppression&>(s).used = true;
+        return;
+      }
+    }
+    findings_.push_back(Finding{f.path, line, rule, LineText(raw, f, line)});
+  }
+
+  void Scan(SourceFile& f, const std::string& raw,
+            const std::set<std::string>& hash_names) {
+    const std::string& text = f.stripped;
+
+    auto scan_regex = [&](const std::regex& re, const std::string& rule) {
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), re);
+           it != std::sregex_iterator(); ++it) {
+        AddFinding(f, static_cast<size_t>(it->position()), rule, raw);
+      }
+    };
+
+    static const std::regex kStdRand(
+        R"(\bstd\s*::\s*rand\b|\bsrand\s*\(|\brand\s*\()");
+    scan_regex(kStdRand, "std-rand");
+
+    static const std::regex kRandomDevice(R"(\brandom_device\b)");
+    scan_regex(kRandomDevice, "random-device");
+
+    static const std::regex kUnseeded(
+        R"(\b(?:std\s*::\s*)?(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?|ranlux\w+|knuth_b)\s+[A-Za-z_]\w*\s*;)");
+    scan_regex(kUnseeded, "unseeded-rng");
+
+    if (!f.sim_exempt) {
+      static const std::regex kWallClock(
+          R"(\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\bgettimeofday\b|\bclock_gettime\b|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|\blocaltime\b|\bgmtime\b)");
+      scan_regex(kWallClock, "wall-clock");
+    }
+
+    static const std::regex kPointerOrder(
+        R"(\b(?:std\s*::\s*)?(?:map|set|less|greater)\s*<\s*(?:const\s+)?[\w:]+\s*\*)");
+    scan_regex(kPointerOrder, "pointer-order");
+
+    // Raw std::unordered_* use (must go through hermes::HashMap/HashSet so
+    // HERMES_HASH_SALT perturbs every container). common/hash.h itself
+    // defines the aliases and is exempt.
+    if (f.path.find("common/hash.h") == std::string::npos) {
+      static const std::regex kRawUnordered(R"(\bunordered_(?:map|set)\b)");
+      scan_regex(kRawUnordered, "raw-unordered");
+    }
+
+    // Iteration over hash containers: range-for whose sequence resolves to
+    // a known hash-container name, or .begin()/.cbegin() on one. The for
+    // header is scanned with real paren matching (a regex overshoots when
+    // a single-line body contains calls).
+    static const std::regex kForOpen(R"(\bfor\s*\()");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kForOpen);
+         it != std::sregex_iterator(); ++it) {
+      const size_t open =
+          static_cast<size_t>(it->position()) + it->length() - 1;
+      size_t pos = open + 1;
+      int depth = 1;
+      size_t colon = std::string::npos;
+      while (pos < text.size() && depth > 0) {
+        const char c = text[pos];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') --depth;
+        if (c == ';' && depth == 1) break;  // classic for, not range-for
+        if (c == ':' && depth == 1 && colon == std::string::npos &&
+            text[pos - 1] != ':' &&
+            (pos + 1 >= text.size() || text[pos + 1] != ':')) {
+          colon = pos;
+        }
+        ++pos;
+      }
+      if (depth != 0 || colon == std::string::npos) continue;
+      // pos - 1 is the for-header's closing ')'.
+      const std::string name =
+          TrailingIdentifier(text.substr(colon + 1, pos - 1 - (colon + 1)));
+      if (!name.empty() && hash_names.count(name) > 0) {
+        AddFinding(f, static_cast<size_t>(it->position()), "unordered-iter",
+                   raw);
+      }
+    }
+    static const std::regex kBegin(
+        R"(([A-Za-z_]\w*)\s*(?:\(\s*\))?\s*\.\s*c?begin\s*\()");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kBegin);
+         it != std::sregex_iterator(); ++it) {
+      if (hash_names.count((*it)[1].str()) > 0) {
+        AddFinding(f, static_cast<size_t>(it->position()), "unordered-iter",
+                   raw);
+      }
+    }
+  }
+
+  std::vector<Finding> findings_;
+};
+
+const std::set<std::string> kKnownRules = {
+    "unordered-iter", "raw-unordered", "std-rand",     "random-device",
+    "unseeded-rng",   "wall-clock",    "pointer-order"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: detlint <dir-or-file>...\n");
+    return 2;
+  }
+
+  // ---- Load all files. ----
+  std::vector<SourceFile> files;
+  std::vector<std::string> raws;
+  for (const std::string& root : roots) {
+    std::vector<fs::path> paths;
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
+          paths.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      paths.emplace_back(root);
+    } else {
+      std::fprintf(stderr, "detlint: no such file or directory: %s\n",
+                   root.c_str());
+      return 2;
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      std::ifstream in(p);
+      if (!in) {
+        std::fprintf(stderr, "detlint: cannot read %s\n", p.c_str());
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      raws.push_back(ss.str());
+
+      SourceFile f;
+      f.path = p.generic_string();
+      f.stem = p.stem().string();
+      f.sim_exempt = f.path.find("src/sim/") != std::string::npos;
+      f.stripped = StripCommentsAndStrings(raws.back());
+      f.line_starts.push_back(0);
+      for (size_t i = 0; i < f.stripped.size(); ++i) {
+        if (f.stripped[i] == '\n') f.line_starts.push_back(i + 1);
+      }
+      files.push_back(std::move(f));
+    }
+  }
+
+  // ---- Parse suppressions (from the raw text — they live in comments). ----
+  static const std::regex kAllow(
+      R"(detlint:allow\(([A-Za-z0-9_-]+)\)[ \t]*([^\n]*))");
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string& raw = raws[i];
+    for (auto it = std::sregex_iterator(raw.begin(), raw.end(), kAllow);
+         it != std::sregex_iterator(); ++it) {
+      Suppression s;
+      s.file = files[i].path;
+      s.line = LineOf(files[i], static_cast<size_t>(it->position()));
+      s.rule = (*it)[1].str();
+      s.justification = (*it)[2].str();
+      while (!s.justification.empty() &&
+             std::isspace(static_cast<unsigned char>(s.justification.back()))) {
+        s.justification.pop_back();
+      }
+      files[i].suppressions.push_back(std::move(s));
+    }
+  }
+
+  // ---- Collect hash-container names, grouped by file stem so a .cc sees
+  // the members its paired header declares. Getter names (e.g. records())
+  // are collected too, so cross-file `obj.records()` iteration is caught
+  // via the global set as a fallback. ----
+  std::map<std::string, std::set<std::string>> names_by_stem;
+  std::set<std::string> global_names;
+  for (const SourceFile& f : files) {
+    std::set<std::string> names;
+    CollectHashContainerNames(f, &names);
+    names_by_stem[f.stem].insert(names.begin(), names.end());
+    global_names.insert(names.begin(), names.end());
+  }
+
+  // ---- Scan. ----
+  Linter linter;
+  for (size_t i = 0; i < files.size(); ++i) {
+    // The per-stem set exists so false positives stay local; the global
+    // set is the safety net for cross-file accessors. Both are hash-
+    // container names only, so the union is still tightly scoped.
+    std::set<std::string> names = global_names;
+    linter.Scan(files[i], raws[i], names);
+  }
+
+  // ---- Report. ----
+  int errors = 0;
+  std::sort(linter.findings_.begin(), linter.findings_.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  for (const Finding& f : linter.findings_) {
+    std::printf("%s:%d: error: [%s] %s\n", f.file.c_str(), f.line,
+                f.rule.c_str(), f.excerpt.c_str());
+    ++errors;
+  }
+
+  int suppression_count = 0;
+  for (const SourceFile& f : files) {
+    for (const Suppression& s : f.suppressions) {
+      ++suppression_count;
+      if (kKnownRules.count(s.rule) == 0) {
+        std::printf("%s:%d: error: suppression names unknown rule '%s'\n",
+                    s.file.c_str(), s.line, s.rule.c_str());
+        ++errors;
+        continue;
+      }
+      if (s.justification.empty()) {
+        std::printf(
+            "%s:%d: error: suppression of [%s] without a justification\n",
+            s.file.c_str(), s.line, s.rule.c_str());
+        ++errors;
+        continue;
+      }
+      if (!s.used) {
+        std::printf("%s:%d: error: unused suppression of [%s] (stale?)\n",
+                    s.file.c_str(), s.line, s.rule.c_str());
+        ++errors;
+        continue;
+      }
+      std::printf("%s:%d: allowed [%s]: %s\n", s.file.c_str(), s.line,
+                  s.rule.c_str(), s.justification.c_str());
+    }
+  }
+
+  std::printf(
+      "detlint: %zu files, %d finding(s), %d suppression(s) listed above\n",
+      files.size(), errors, suppression_count);
+  return errors == 0 ? 0 : 1;
+}
