@@ -92,20 +92,23 @@ RunResult RunGoogleWorkload(engine::RouterKind kind, GoogleRunParams params) {
   result.throughput.assign(params.windows, 0.0);
   result.cpu.assign(params.windows, 0.0);
   result.net_per_txn.assign(params.windows, 0.0);
+  result.net_recv_per_txn.assign(params.windows, 0.0);
   const int total_workers = params.num_nodes * params.workers_per_node;
   for (int w = 0; w < params.windows; ++w) {
-    double commits = 0, busy = 0, bytes = 0;
+    double commits = 0, busy = 0, bytes = 0, recv = 0;
     for (size_t i = 0; i < metric_windows_per_trace_window; ++i) {
       const size_t mw = w * metric_windows_per_trace_window + i;
       if (mw >= m.windows().size()) break;
       commits += static_cast<double>(m.windows()[mw].commits);
       busy += static_cast<double>(m.windows()[mw].busy_us);
       bytes += static_cast<double>(m.windows()[mw].net_bytes);
+      recv += static_cast<double>(m.windows()[mw].net_bytes_received);
     }
     result.throughput[w] = commits;
     result.cpu[w] =
         busy / (static_cast<double>(params.window_us) * total_workers);
     result.net_per_txn[w] = commits > 0 ? bytes / commits : 0.0;
+    result.net_recv_per_txn[w] = commits > 0 ? recv / commits : 0.0;
   }
   result.avg_latency = m.AverageLatency();
   result.latency_p50_us = m.latency_histogram().Percentile(0.50);

@@ -47,7 +47,11 @@ struct GoogleRunParams {
 struct RunResult {
   std::vector<double> throughput;    ///< commits per window
   std::vector<double> cpu;           ///< cluster CPU utilization per window
-  std::vector<double> net_per_txn;   ///< wire bytes per commit per window
+  std::vector<double> net_per_txn;   ///< wire bytes sent per commit per window
+  /// Wire bytes delivered per commit per window; diverges from
+  /// `net_per_txn` when messages straddle a window boundary or a chaos
+  /// profile drops/duplicates wire attempts.
+  std::vector<double> net_recv_per_txn;
   LatencyBreakdown avg_latency;
   SimTime latency_p50_us = 0;
   SimTime latency_p99_us = 0;

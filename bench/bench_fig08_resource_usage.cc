@@ -48,6 +48,17 @@ int main() {
        tpart.net_per_txn, leap.net_per_txn, hermes.net_per_txn},
       window_s, "bytes per committed txn");
 
+  // Receiver-side view of the same traffic. On the fault-free runs here it
+  // tracks Fig 8b modulo messages in flight across a window boundary; under
+  // a chaos profile (bench_fault_recovery) the two diverge by the dropped
+  // and duplicated wire attempts.
+  PrintSeriesTable(
+      "Fig 8c: network bytes received per transaction",
+      {"calvin", "clay", "gstore", "tpart", "leap", "hermes"},
+      {calvin.net_recv_per_txn, clay.net_recv_per_txn, gstore.net_recv_per_txn,
+       tpart.net_recv_per_txn, leap.net_recv_per_txn, hermes.net_recv_per_txn},
+      window_s, "bytes per committed txn");
+
   std::printf("\npaper shape: hermes uses the most CPU (balanced load) with "
               "network per txn at or below the baselines\n");
   return 0;

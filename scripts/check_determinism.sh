@@ -8,15 +8,21 @@
 # prints — across all processes and all in-process salts — to be one value.
 # Any difference means some decision depends on hash iteration order.
 #
+# The chaos profile does the same for a seeded fault plan (mid-run crash
+# + rejoin + link drop/duplicate/jitter): every CHAOS_PROFILE line —
+# decision digest, placement digest, state checksum, commit count, chaos
+# counters and recovery times — must be one value across the env salts.
+#
 # Usage: scripts/check_determinism.sh [build-dir]   (default: build)
 
 set -eu
 
 BUILD_DIR="${1:-build}"
 TEST_BIN="$BUILD_DIR/tests/determinism_perturbation_test"
+CHAOS_BIN="$BUILD_DIR/tests/chaos_property_test"
 
-if [ ! -x "$TEST_BIN" ]; then
-  echo "error: $TEST_BIN not found — build first:" >&2
+if [ ! -x "$TEST_BIN" ] || [ ! -x "$CHAOS_BIN" ]; then
+  echo "error: $TEST_BIN or $CHAOS_BIN not found — build first:" >&2
   echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
   exit 2
 fi
@@ -44,3 +50,26 @@ if [ "$count" -ne 1 ]; then
 fi
 
 echo "OK: decision digest $digests identical across all env and in-process salts"
+
+# Chaos profile: one seeded fault plan per process, identical outcome line
+# (digests, checksum, commits, drop/dup counts, recovery times) required.
+chaos_out="$(mktemp)"
+trap 'rm -f "$out" "$chaos_out"' EXIT
+
+for salt in $SALTS; do
+  echo "== chaos HERMES_HASH_SALT=$salt =="
+  HERMES_HASH_SALT="$salt" "$CHAOS_BIN" \
+    --gtest_filter='ChaosScriptProfile.*' | tee -a "$chaos_out"
+done
+
+profiles="$(sed -n 's/^CHAOS_PROFILE //p' "$chaos_out" | sort -u)"
+profile_count="$(printf '%s\n' "$profiles" | grep -c . || true)"
+
+if [ "$profile_count" -ne 1 ]; then
+  echo "FAIL: expected one chaos outcome across all salts, got $profile_count:" >&2
+  printf '%s\n' "$profiles" >&2
+  exit 1
+fi
+
+echo "OK: chaos outcome identical across all env salts:"
+echo "  $profiles"

@@ -52,7 +52,7 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
                  [this](Batch&& batch) { OnBatchSequenced(std::move(batch)); }),
       scheduler_(&sim_, router_.get(), &executor_, &command_log_, &config_,
                  [this](const TxnRequest& txn) { return ResolveCallback(txn); },
-                 &digest_) {
+                 &digest_, &placement_digest_) {
   nodes_.reserve(config_.num_nodes);
   for (NodeId i = 0; i < config_.num_nodes; ++i) {
     nodes_.push_back(
@@ -172,6 +172,9 @@ void Cluster::SampleWindow() {
   const uint64_t total = net_.total_bytes();
   metrics_.RecordNetBytes(stamp, total - sampled_net_bytes_);
   sampled_net_bytes_ = total;
+  const uint64_t received = net_.total_bytes_received();
+  metrics_.RecordNetBytesReceived(stamp, received - sampled_net_recv_bytes_);
+  sampled_net_recv_bytes_ = received;
   metrics_.RecordDecisionDigest(stamp, digest_.value());
 }
 
@@ -278,7 +281,12 @@ void Cluster::RemoveNode(NodeId node, const std::vector<RangeMove>& cold_plan,
 }
 
 storage::Checkpoint Cluster::TakeCheckpoint() const {
-  assert(executor_.inflight() == 0 && sequencer_.pending() == 0 &&
+  // Quiescence: nothing executing and no event in flight. Requests pending
+  // at a paused sequencer are legitimately excluded — they have not entered
+  // the total order yet, so batches sequenced after this checkpoint cover
+  // them (the fault injector checkpoints mid-run with intake paused).
+  assert(executor_.inflight() == 0 &&
+         (sequencer_.pending() == 0 || sequencer_.paused()) && sim_.idle() &&
          "checkpoints must be taken at quiescence");
   storage::Checkpoint cp;
   cp.next_batch = sequencer_.next_batch_id();

@@ -94,6 +94,16 @@ class Cluster {
     sequencer_.RestoreCounters(next_batch, next_txn);
   }
 
+  // --- Fault-injection hooks (used by fault::FaultInjector). ---
+
+  /// Stops the sequencer from cutting batches: submissions accumulate but
+  /// nothing new enters the total order until ResumeIntake(). The fault
+  /// injector stalls intake while a crashed node's store is rebuilt, so
+  /// the total order never references a store that does not exist.
+  void PauseIntake() { sequencer_.Pause(); }
+  void ResumeIntake() { sequencer_.Resume(); }
+  bool intake_paused() const { return sequencer_.paused(); }
+
   /// Advances simulated time to `deadline`, sampling resource metrics
   /// every metrics window.
   void RunUntil(SimTime deadline);
@@ -176,6 +186,14 @@ class Cluster {
   /// this, catching hash-iteration-order leaks at runtime.
   const DecisionDigest& decision_digest() const { return digest_; }
 
+  /// Digest over routing decisions ONLY (no event-queue pops, no fusion
+  /// evictions): what the scheduler decided for the sequenced batch
+  /// stream. Chaos legitimately perturbs event timing, so decision_digest
+  /// diverges under faults — but the batch stream survives in the command
+  /// log, and replaying it fault-free must reproduce this digest exactly.
+  /// fault::InvariantMonitor compares the two.
+  const DecisionDigest& placement_digest() const { return placement_digest_; }
+
  private:
   void SubmitWithReconnaissance(TxnRequest txn,
                                 TxnExecutor::CommitCallback on_commit);
@@ -193,6 +211,7 @@ class Cluster {
   /// Declared before sim_/scheduler_ so the components it is wired into
   /// outlive none of their digest writes.
   DecisionDigest digest_;
+  DecisionDigest placement_digest_;
   sim::Simulator sim_;
   Metrics metrics_;
   sim::Network net_;
@@ -213,6 +232,7 @@ class Cluster {
   routing::ClayConfig clay_config_;
 
   uint64_t sampled_net_bytes_ = 0;
+  uint64_t sampled_net_recv_bytes_ = 0;
   bool replaying_ = false;
 
   /// Seeded source for OLLP staleness draws (deterministic per cluster).

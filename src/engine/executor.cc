@@ -288,6 +288,7 @@ void TxnExecutor::FinishParticipant(Active& a, NodeId node) {
     Shipment& s = shipments[acc.new_owner];
     s.moves.emplace_back(acc.key, *rec);
     s.bytes += costs_->record_bytes;
+    TrackInFlight(acc.key, node, acc.new_owner, a.plan.txn.id);
     if (acc.ship_to_master && IsMaster(a, acc.new_owner)) s.to_master = true;
   }
 
@@ -432,6 +433,7 @@ void TxnExecutor::Acknowledge(Active& a) {
   for (const routing::ReturnShipment& r : a.plan.on_commit_returns) {
     auto rec = NodeAt(r.from).store().Extract(r.key);
     assert(rec.has_value() && "returning a record that is not present");
+    TrackInFlight(r.key, r.from, r.to, a.plan.txn.id);
     ++returns;
     send_work[r.from] += costs_->storage_op_us;
     net_->Send(r.from, r.to, costs_->record_bytes,
@@ -555,6 +557,13 @@ std::string TxnExecutor::DebugString() const {
                   node, static_cast<unsigned long long>(key), count);
     out += buf;
   }
+  for (const auto& [key, r] : inflight_records_) {
+    std::snprintf(buf, sizeof(buf),
+                  "in flight: key=%llu node %d -> node %d (txn %llu)\n",
+                  static_cast<unsigned long long>(key), r.from, r.to,
+                  static_cast<unsigned long long>(r.txn));
+    out += buf;
+  }
   return out;
 }
 
@@ -578,6 +587,12 @@ void TxnExecutor::WaitPresence(NodeId node, std::vector<Key> keys,
   }
 }
 
+void TxnExecutor::TrackInFlight(Key key, NodeId from, NodeId to, TxnId txn) {
+  assert(!inflight_records_.contains(key) &&
+         "record extracted twice without an intervening delivery");
+  inflight_records_[key] = InFlightRecord{from, to, txn};
+}
+
 void TxnExecutor::DeliverRecord(NodeId node, Key key,
                                 const storage::Record& record) {
   if (trace_key_ == key) {
@@ -585,6 +600,7 @@ void TxnExecutor::DeliverRecord(NodeId node, Key key,
                  static_cast<unsigned long long>(sim_->Now()),
                  static_cast<unsigned long long>(key), node);
   }
+  inflight_records_.erase(key);
   NodeAt(node).store().Insert(key, record);
   auto it = presence_waiters_.find(PresenceKey{node, key});
   if (it == presence_waiters_.end()) return;

@@ -2,6 +2,7 @@
 #define HERMES_ENGINE_EXECUTOR_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -72,8 +73,28 @@ class TxnExecutor {
   uint64_t committed() const { return committed_; }
   uint64_t aborted() const { return aborted_; }
 
+  /// One record currently extracted from its source store and riding a
+  /// simulated message: absent from every store until delivery.
+  struct InFlightRecord {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    /// Transaction whose shipment (migration or return) carries the record.
+    TxnId txn = kInvalidTxn;
+  };
+
+  /// Records extracted-but-undelivered right now, keyed by record key.
+  /// A std::map so iteration order is deterministic without suppressions.
+  /// This is the executor's half of the record-singularity invariant: at
+  /// any instant every key is either in exactly one store or listed here;
+  /// the fault InvariantMonitor checks exactly that, and DebugString()
+  /// prints this table so a chaos-found violation is diagnosable.
+  const std::map<Key, InFlightRecord>& inflight_records() const {
+    return inflight_records_;
+  }
+
   /// Diagnostic rendering of in-flight transactions and what they wait on
-  /// (lock grants, remote messages, record presence).
+  /// (lock grants, remote messages, record presence), plus every record
+  /// currently believed to be in flight with its source/destination nodes.
   std::string DebugString() const;
 
  private:
@@ -134,6 +155,10 @@ class TxnExecutor {
   /// done.
   void MaybeComplete(Active& a);
 
+  /// Registers a record as extracted at `from` and riding a message to
+  /// `to` (cleared again by DeliverRecord).
+  void TrackInFlight(Key key, NodeId from, NodeId to, TxnId txn);
+
   /// Runs `ready` once every key in `keys` is physically present in
   /// `node`'s store (immediately if they already are).
   void WaitPresence(NodeId node, std::vector<Key> keys,
@@ -164,6 +189,8 @@ class TxnExecutor {
   };
   HashMap<PresenceKey, std::vector<std::function<void()>>, PresenceHash>
       presence_waiters_;
+
+  std::map<Key, InFlightRecord> inflight_records_;
 
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;

@@ -83,6 +83,10 @@ void Metrics::RecordNetBytes(SimTime when, uint64_t bytes) {
   WindowAt(when).net_bytes += bytes;
 }
 
+void Metrics::RecordNetBytesReceived(SimTime when, uint64_t bytes) {
+  WindowAt(when).net_bytes_received += bytes;
+}
+
 void Metrics::RecordDecisionDigest(SimTime when, uint64_t digest) {
   WindowAt(when).decision_digest = digest;
 }

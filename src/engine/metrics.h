@@ -18,6 +18,10 @@ struct WindowStats {
   uint64_t migrations = 0;           ///< records that changed node
   uint64_t busy_us = 0;              ///< summed worker busy time, all nodes
   uint64_t net_bytes = 0;            ///< wire bytes sent in the window
+  /// Wire bytes delivered in the window. Equals `net_bytes` modulo in-flight
+  /// skew on a healthy fabric; under fault injection the gap is the cost of
+  /// dropped wire attempts (sent, never delivered).
+  uint64_t net_bytes_received = 0;
   /// DecisionDigest value sampled at the window boundary. A prefix of the
   /// run's decision stream: two replicas agreeing up to window w have
   /// identical values here, so the first differing window brackets where
@@ -67,6 +71,7 @@ class Metrics {
   /// Adds worker busy time observed for the window containing `when`.
   void RecordBusy(SimTime when, uint64_t busy_us);
   void RecordNetBytes(SimTime when, uint64_t bytes);
+  void RecordNetBytesReceived(SimTime when, uint64_t bytes);
   /// Snapshots the cluster's decision digest into `when`'s window.
   void RecordDecisionDigest(SimTime when, uint64_t digest);
 

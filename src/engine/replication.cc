@@ -65,6 +65,21 @@ int ReplicaGroup::Failover() {
   // total-order log; modeling the cutoff at a batch boundary keeps the
   // test surface focused on the takeover itself.
   replicas_[primary_]->Drain();
+  return Promote();
+}
+
+int ReplicaGroup::FailoverNow() {
+  assert(num_replicas() >= 2);
+  // No drain: the primary drops dead with batches in flight. Everything it
+  // sequenced already reached the standbys through the tap (the tap fires
+  // at sequencing time, before the primary itself executes), so the
+  // promoted standby's history is a prefix-complete copy of the total
+  // order. Unsequenced requests pending at the dead primary are lost, as
+  // they would be in any deployment that acknowledges after sequencing.
+  return Promote();
+}
+
+int ReplicaGroup::Promote() {
   alive_[primary_] = false;
   replicas_[primary_]->set_batch_tap(nullptr);
 

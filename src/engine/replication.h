@@ -50,7 +50,18 @@ class ReplicaGroup {
   /// receiving batches. Returns the new primary's index.
   int Failover();
 
+  /// Failover WITHOUT draining the dead primary first: the primary dies
+  /// mid-flight, its unfinished work is simply lost, and the promoted
+  /// standby continues from the batches that were already fanned out (the
+  /// deterministic-replication guarantee: every sequenced batch reached
+  /// the standbys, so nothing acknowledged is lost — only unsequenced
+  /// requests die with the primary, which is also true of a real Calvin
+  /// deployment). The fault injector uses this mid-run. Returns the new
+  /// primary's index.
+  int FailoverNow();
+
   int primary_index() const { return primary_; }
+  bool alive(int i) const { return alive_[i]; }
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
   Cluster& replica(int i) { return *replicas_[i]; }
 
@@ -60,6 +71,7 @@ class ReplicaGroup {
 
  private:
   void WireTap(int index);
+  int Promote();
 
   std::vector<std::unique_ptr<Cluster>> replicas_;
   std::vector<bool> alive_;

@@ -9,14 +9,15 @@ namespace hermes::engine {
 Scheduler::Scheduler(sim::Simulator* sim, routing::Router* router,
                      TxnExecutor* executor, storage::CommandLog* command_log,
                      const ClusterConfig* config, CallbackResolver resolver,
-                     DecisionDigest* digest)
+                     DecisionDigest* digest, DecisionDigest* placement_digest)
     : sim_(sim),
       router_(router),
       executor_(executor),
       command_log_(command_log),
       config_(config),
       resolver_(std::move(resolver)),
-      digest_(digest) {}
+      digest_(digest),
+      placement_digest_(placement_digest) {}
 
 namespace {
 
@@ -55,6 +56,11 @@ void Scheduler::OnBatch(Batch&& batch) {
   routing::RoutePlan plan = router_->RouteBatch(batch);
   if (digest_ != nullptr) {
     for (const routing::RoutedTxn& rt : plan.txns) MixPlacement(*digest_, rt);
+  }
+  if (placement_digest_ != nullptr) {
+    for (const routing::RoutedTxn& rt : plan.txns) {
+      MixPlacement(*placement_digest_, rt);
+    }
   }
   const SimTime log_cost =
       config_->enable_command_log

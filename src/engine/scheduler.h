@@ -33,10 +33,16 @@ class Scheduler {
 
   /// `digest`, when non-null, receives every routing decision (txn id,
   /// masters, per-access placement) the moment a batch is routed.
+  /// `placement_digest`, when non-null, receives the same stream — it backs
+  /// `Cluster::placement_digest()`, a transcript of routing decisions only
+  /// (no event-queue pops), which fault-injection monitors compare against
+  /// a fault-free oracle replaying the same command log: chaos may perturb
+  /// timing, but never what the router decided for a given batch stream.
   Scheduler(sim::Simulator* sim, routing::Router* router,
             TxnExecutor* executor, storage::CommandLog* command_log,
             const ClusterConfig* config, CallbackResolver resolver,
-            DecisionDigest* digest = nullptr);
+            DecisionDigest* digest = nullptr,
+            DecisionDigest* placement_digest = nullptr);
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -60,6 +66,7 @@ class Scheduler {
   const ClusterConfig* config_;
   CallbackResolver resolver_;
   DecisionDigest* digest_;
+  DecisionDigest* placement_digest_;
   DispatchObserver observer_;
   SimTime busy_until_ = 0;
   uint64_t batches_routed_ = 0;

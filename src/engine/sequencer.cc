@@ -15,7 +15,7 @@ void Sequencer::Submit(TxnRequest txn) {
 }
 
 void Sequencer::ArmEpochCut() {
-  if (cut_armed_ || pending_.empty()) return;
+  if (paused_ || cut_armed_ || pending_.empty()) return;
   cut_armed_ = true;
   // Cut at the next epoch boundary (lazy arming keeps an idle cluster's
   // event queue empty so simulations can drain).
@@ -23,6 +23,7 @@ void Sequencer::ArmEpochCut() {
   const SimTime next_boundary = ((sim_->Now() / epoch) + 1) * epoch;
   sim_->ScheduleAt(next_boundary, [this]() {
     cut_armed_ = false;
+    if (paused_) return;  // Resume() re-arms
     CutBatch();
     ArmEpochCut();
   });

@@ -34,6 +34,22 @@ class Sequencer {
   /// and arms the next epoch cut if none is pending.
   void Submit(TxnRequest txn);
 
+  /// Stops cutting batches: submissions keep accumulating (and keep their
+  /// arrival-order transaction ids) but never enter the total order until
+  /// Resume(). The fault injector pauses intake while a crashed node
+  /// recovers — requests pending at a pause are NOT covered by checkpoints
+  /// taken during the stall, exactly like requests a real sequencer has
+  /// received but not yet run through the total-order protocol.
+  void Pause() { paused_ = true; }
+
+  /// Resumes batch cutting, arming an epoch cut if requests are pending.
+  void Resume() {
+    paused_ = false;
+    ArmEpochCut();
+  }
+
+  bool paused() const { return paused_; }
+
   /// Batches sequenced so far; the next batch gets this id.
   BatchId next_batch_id() const { return next_batch_id_; }
   TxnId next_txn_id() const { return next_txn_id_; }
@@ -57,6 +73,7 @@ class Sequencer {
   BatchId next_batch_id_ = 0;
   TxnId next_txn_id_ = 0;
   bool cut_armed_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace hermes::engine

@@ -1,0 +1,83 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace hermes::fault {
+
+FaultPlan FaultPlan::Generate(const FaultPlanConfig& config, uint64_t seed) {
+  assert(config.num_nodes > 0);
+  assert(config.max_outage_us >= config.min_outage_us);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.link = config.link;
+  Rng rng(Mix64(seed ^ 0xfa017ULL));
+
+  // Each crash cycle lives in its own slot of the horizon so a node is
+  // never crashed twice concurrently and every rejoin lands before the
+  // next crash. The crash point is drawn from the first half of the slot
+  // and the outage is clamped to fit.
+  const int cycles = std::max(config.crash_cycles, 0);
+  if (cycles > 0) {
+    const SimTime slot = config.horizon_us / cycles;
+    for (int c = 0; c < cycles; ++c) {
+      const SimTime slot_start = c * slot;
+      if (slot < 2 * config.min_outage_us) continue;  // degenerate horizon
+      const SimTime crash_window = slot / 2;
+      const SimTime crash_at =
+          slot_start + rng.NextBounded(std::max<SimTime>(crash_window, 1));
+      // Rejoin strictly before the slot ends, so it sorts strictly before
+      // the next slot's crash even on timestamp ties.
+      const SimTime slot_end = slot_start + slot - 1;
+      const SimTime max_fit =
+          slot_end > crash_at ? slot_end - crash_at : config.min_outage_us;
+      const SimTime hi =
+          std::min<SimTime>(config.max_outage_us, std::max<SimTime>(max_fit, 1));
+      const SimTime lo = std::min<SimTime>(config.min_outage_us, hi);
+      const SimTime outage = lo + rng.NextBounded(hi - lo + 1);
+      const NodeId node =
+          static_cast<NodeId>(rng.NextBounded(config.num_nodes));
+      plan.events.push_back(
+          FaultEvent{crash_at, FaultEvent::Kind::kCrash, node});
+      plan.events.push_back(
+          FaultEvent{crash_at + outage, FaultEvent::Kind::kRejoin, node});
+    }
+  }
+
+  if (config.inject_failover) {
+    // Anywhere in the middle 60% of the horizon, so batches are in flight.
+    const SimTime lo = config.horizon_us / 5;
+    const SimTime span = std::max<SimTime>(3 * config.horizon_us / 5, 1);
+    plan.events.push_back(FaultEvent{lo + rng.NextBounded(span),
+                                     FaultEvent::Kind::kFailover,
+                                     kInvalidNode});
+  }
+
+  std::sort(plan.events.begin(), plan.events.end());
+  return plan;
+}
+
+std::string FaultPlan::DebugString() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "fault plan seed=%llx drop=%.3f dup=%.3f jitter<=%llu:\n",
+                static_cast<unsigned long long>(seed), link.drop_prob,
+                link.duplicate_prob,
+                static_cast<unsigned long long>(link.max_jitter_us));
+  out += buf;
+  for (const FaultEvent& e : events) {
+    const char* kind = e.kind == FaultEvent::Kind::kCrash    ? "crash"
+                       : e.kind == FaultEvent::Kind::kRejoin ? "rejoin"
+                                                             : "failover";
+    std::snprintf(buf, sizeof(buf), "  t=%llu %s node=%d\n",
+                  static_cast<unsigned long long>(e.at), kind, e.node);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hermes::fault

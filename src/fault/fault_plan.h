@@ -1,0 +1,81 @@
+#ifndef HERMES_FAULT_FAULT_PLAN_H_
+#define HERMES_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hermes::fault {
+
+/// Per-message link chaos parameters. All draws come from one seeded
+/// hermes::Rng consumed in Network::Send order (which is itself
+/// deterministic), so a (plan seed, workload seed) pair fixes every fault.
+///
+/// Chaos rides ON TOP of a reliable transport — the engine's correctness
+/// invariants assume messages eventually arrive exactly once, so:
+///   - a "drop" is a lost wire attempt that the transport retransmits:
+///     the sender pays the bytes again and delivery slips by a
+///     retransmit timeout, but the payload still lands exactly once;
+///   - a "duplicate" is an extra wire copy the receiver's dedup layer
+///     absorbs: bytes flow twice, the callback fires once;
+///   - "jitter" is plain extra delivery delay.
+/// This perturbs timing, byte counters and therefore the event
+/// interleaving — which is exactly the surface a deterministic database
+/// must be immune to — without ever forging or losing a record.
+struct LinkChaosConfig {
+  double drop_prob = 0.0;       ///< per wire attempt
+  double duplicate_prob = 0.0;  ///< per delivered message
+  SimTime max_jitter_us = 0;    ///< uniform extra delay in [0, max]
+  SimTime retransmit_delay_us = 200;  ///< added per lost attempt
+  int max_drops_per_message = 3;      ///< bounds the retransmit storm
+};
+
+/// One scheduled fault.
+struct FaultEvent {
+  enum class Kind {
+    kCrash,     ///< node loses its volatile store; cluster intake stalls
+    kRejoin,    ///< crashed node rebuilds from checkpoint + log replay
+    kFailover,  ///< replica-group primary dies mid-flight, standby promoted
+  };
+  SimTime at = 0;
+  Kind kind = Kind::kCrash;
+  /// Crashed/rejoining node for kCrash/kRejoin; ignored for kFailover.
+  NodeId node = kInvalidNode;
+
+  bool operator<(const FaultEvent& o) const {
+    if (at != o.at) return at < o.at;
+    if (kind != o.kind) return static_cast<int>(kind) < static_cast<int>(o.kind);
+    return node < o.node;
+  }
+};
+
+struct FaultPlanConfig {
+  SimTime horizon_us = SecToSim(10);  ///< faults are drawn within [0, horizon)
+  int num_nodes = 4;
+  /// Crash/rejoin pairs to schedule. Each cycle picks a node and an outage
+  /// window inside its own slot of the horizon, so cycles never overlap.
+  int crash_cycles = 1;
+  SimTime min_outage_us = MsToSim(50);
+  SimTime max_outage_us = MsToSim(400);
+  /// Schedule one mid-run primary failover (replica-group runs only).
+  bool inject_failover = false;
+  LinkChaosConfig link;
+};
+
+/// A seeded, totally ordered schedule of fault events plus the link-chaos
+/// parameters to install for the run. Pure function of (config, seed).
+struct FaultPlan {
+  std::vector<FaultEvent> events;  ///< sorted by (at, kind, node)
+  LinkChaosConfig link;
+  uint64_t seed = 0;
+
+  static FaultPlan Generate(const FaultPlanConfig& config, uint64_t seed);
+
+  std::string DebugString() const;
+};
+
+}  // namespace hermes::fault
+
+#endif  // HERMES_FAULT_FAULT_PLAN_H_

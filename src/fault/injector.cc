@@ -1,0 +1,189 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <utility>
+
+#include "engine/recovery.h"
+
+namespace hermes::fault {
+namespace {
+
+bool HasLinkChaos(const LinkChaosConfig& link) {
+  return link.drop_prob > 0.0 || link.duplicate_prob > 0.0 ||
+         link.max_jitter_us > 0;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(engine::Cluster* cluster, const FaultPlan& plan,
+                             MapFactory map_factory)
+    : cluster_(cluster), plan_(plan), map_factory_(std::move(map_factory)) {
+  assert(cluster_->config().enable_command_log &&
+         "crash recovery replays the command log; enable it");
+  for (const FaultEvent& e : plan_.events) {
+    (void)e;
+    assert(e.kind != FaultEvent::Kind::kFailover &&
+           "failover events need the ReplicaGroup constructor");
+  }
+  if (HasLinkChaos(plan_.link)) {
+    chaos_.push_back(std::make_unique<LinkChaos>(plan_.link, plan_.seed));
+    chaos_.back()->Install(&cluster_->network());
+  }
+  // The rebuild baseline. Requires the cluster Load()ed and not yet
+  // running (TakeCheckpoint asserts quiescence).
+  checkpoint_ = cluster_->TakeCheckpoint();
+}
+
+FaultInjector::FaultInjector(engine::ReplicaGroup* group,
+                             const FaultPlan& plan)
+    : group_(group), plan_(plan) {
+  for (const FaultEvent& e : plan_.events) {
+    (void)e;
+    assert(e.kind == FaultEvent::Kind::kFailover &&
+           "crash/rejoin events need the single-cluster constructor");
+  }
+  if (HasLinkChaos(plan_.link)) {
+    // One independently seeded fabric per replica (each is its own DC).
+    for (int r = 0; r < group_->num_replicas(); ++r) {
+      chaos_.push_back(std::make_unique<LinkChaos>(
+          plan_.link, Mix64(plan_.seed ^ (static_cast<uint64_t>(r) + 1))));
+      chaos_.back()->Install(&group_->replica(r).network());
+    }
+  }
+}
+
+SimTime FaultInjector::Now() const {
+  return cluster_ != nullptr
+             ? cluster_->Now()
+             : group_->replica(group_->primary_index()).Now();
+}
+
+void FaultInjector::AdvanceTo(SimTime t) {
+  if (cluster_ != nullptr) {
+    if (cluster_->Now() < t) cluster_->RunUntil(t);
+  } else {
+    if (Now() < t) group_->RunUntil(t);
+  }
+}
+
+void FaultInjector::RunUntil(SimTime deadline) {
+  while (next_event_ < plan_.events.size() &&
+         plan_.events[next_event_].at <= deadline) {
+    const FaultEvent event = plan_.events[next_event_];
+    AdvanceTo(event.at);
+    Apply(event);
+    ++next_event_;
+  }
+  AdvanceTo(deadline);
+}
+
+SimTime FaultInjector::Drain() {
+  while (next_event_ < plan_.events.size()) {
+    const FaultEvent event = plan_.events[next_event_];
+    AdvanceTo(event.at);
+    Apply(event);
+    ++next_event_;
+  }
+  if (cluster_ != nullptr) return cluster_->Drain();
+  group_->Drain();
+  return Now();
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEvent::Kind::kCrash:
+      ApplyCrash(event);
+      break;
+    case FaultEvent::Kind::kRejoin:
+      ApplyRejoin(event);
+      break;
+    case FaultEvent::Kind::kFailover:
+      ApplyFailover();
+      break;
+  }
+}
+
+void FaultInjector::RunMonitor(const char* what) {
+  if (monitor_ == nullptr || cluster_ == nullptr) return;
+  char context[64];
+  std::snprintf(context, sizeof(context), "%s t=%llu", what,
+                static_cast<unsigned long long>(Now()));
+  monitor_->CheckRecordSingularity(*cluster_, context);
+}
+
+void FaultInjector::ApplyCrash(const FaultEvent& event) {
+  assert(down_node_ == kInvalidNode && "overlapping crash cycles");
+  assert(event.node >= 0 && event.node < cluster_->num_nodes());
+  RecoveryStats stats;
+  stats.node = event.node;
+  stats.crash_at = Now();
+
+  // Stall intake and let in-flight work finish. Records already riding a
+  // message toward the dying node land first (its transport buffer
+  // outlives the process), so at the drain point nothing is in flight and
+  // the discarded store's contents are exactly what replay reproduces.
+  cluster_->PauseIntake();
+  drained_at_ = cluster_->Drain();
+  stats.drained_at = drained_at_;
+  // The monitor sees the drained-but-whole state: everything must be
+  // singular BEFORE the store is discarded (afterwards the dead node's
+  // keys are legitimately absent until the rebuild).
+  RunMonitor("crash drain");
+  cluster_->node(event.node).store().Clear();
+  down_node_ = event.node;
+  recoveries_.push_back(stats);
+}
+
+void FaultInjector::ApplyRejoin(const FaultEvent& event) {
+  assert(down_node_ == event.node && "rejoin for a node that is not down");
+  RecoveryStats& stats = recoveries_.back();
+  stats.rejoin_at = Now();
+
+  // §4.3 recovery in a shadow cluster: checkpoint + command-log suffix.
+  // Determinism makes the shadow's post-replay state bit-identical to the
+  // live cluster's state at the drain point, so the crashed node's store
+  // can be copied out of it wholesale. The shadow's virtual clock is the
+  // replay cost the rejoining node would really pay.
+  for (const Batch& b : cluster_->command_log().batches()) {
+    if (b.id >= checkpoint_.next_batch) ++stats.replayed_batches;
+  }
+  std::unique_ptr<engine::Cluster> shadow = engine::RecoverCluster(
+      cluster_->config(), cluster_->kind(), map_factory_(), checkpoint_,
+      cluster_->command_log());
+  stats.replay_us = shadow->Now();
+
+  const storage::RecordStore& rebuilt = shadow->node(event.node).store();
+  storage::RecordStore& live = cluster_->node(event.node).store();
+  assert(live.size() == 0 && "rejoining node's store must still be empty");
+  for (Key k = 0; k < cluster_->config().num_records; ++k) {
+    const storage::Record* rec = rebuilt.Get(k);
+    if (rec != nullptr) live.Insert(k, *rec);
+  }
+
+  // The node serves again once the replay cost has elapsed — never before
+  // the drain finished, never before the scheduled rejoin.
+  const SimTime resume_at =
+      std::max(stats.rejoin_at, drained_at_) + stats.replay_us;
+  AdvanceTo(resume_at);
+  stats.resumed_at = Now();
+
+  // Refresh the rebuild baseline so the next cycle replays a short
+  // suffix. Submissions can trickle in during the stall; if one is mid
+  // network-hop right now the cluster is not quiescent and we keep the
+  // old checkpoint (correct, just a longer future replay).
+  if (cluster_->executor().inflight() == 0 && cluster_->simulator().idle()) {
+    checkpoint_ = cluster_->TakeCheckpoint();
+  }
+  down_node_ = kInvalidNode;
+  RunMonitor("rejoin");
+  cluster_->ResumeIntake();
+}
+
+void FaultInjector::ApplyFailover() {
+  group_->FailoverNow();
+  ++failovers_applied_;
+}
+
+}  // namespace hermes::fault

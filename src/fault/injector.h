@@ -1,0 +1,128 @@
+#ifndef HERMES_FAULT_INJECTOR_H_
+#define HERMES_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "engine/cluster.h"
+#include "engine/replication.h"
+#include "fault/fault_plan.h"
+#include "fault/invariant_monitor.h"
+#include "fault/link_chaos.h"
+#include "partition/partition_map.h"
+#include "storage/checkpoint.h"
+
+namespace hermes::fault {
+
+/// What one crash/rejoin cycle cost, in virtual time.
+struct RecoveryStats {
+  NodeId node = kInvalidNode;
+  SimTime crash_at = 0;    ///< fault fired; intake paused
+  SimTime drained_at = 0;  ///< cluster quiesced; store discarded
+  SimTime rejoin_at = 0;   ///< scheduled rejoin point
+  SimTime replay_us = 0;   ///< virtual cost of checkpoint+log replay
+  SimTime resumed_at = 0;  ///< intake resumed; node serving again
+  size_t replayed_batches = 0;
+
+  /// Virtual time the cluster could not accept new work.
+  SimTime stall_us() const { return resumed_at - crash_at; }
+  /// Virtual time from the fault to the node serving again.
+  SimTime time_to_recover_us() const { return resumed_at - crash_at; }
+};
+
+/// Drives a Cluster (or ReplicaGroup) through a FaultPlan in virtual time.
+///
+/// Crash model — stall-and-rebuild: this prototype hosts exactly one
+/// partition per node with no intra-group partition replication (replicas
+/// are whole-cluster copies in other data centers), so a node crash makes
+/// its partition unavailable and the cluster stalls:
+///   1. kCrash: pause sequencer intake (submissions accumulate but nothing
+///      new enters the total order), drain in-flight work to quiescence —
+///      records in flight TOWARD the dead node still land first, modeling
+///      the receiver's transport buffer surviving into the rebuild — then
+///      discard the node's volatile store.
+///   2. kRejoin: rebuild the node's store by running §4.3 recovery in a
+///      SHADOW cluster (restore latest checkpoint, replay the live command
+///      log's suffix — determinism makes the shadow's store bit-identical
+///      to what the live node held at the drain point), copy the rebuilt
+///      store back, refresh the checkpoint, and resume intake at
+///      max(rejoin time, drain time) + replay cost.
+///   3. kFailover (ReplicaGroup mode): the primary dies mid-flight with NO
+///      drain; a standby is promoted on the already-fanned-out batch
+///      stream (ReplicaGroup::FailoverNow).
+/// Link chaos (drops/duplicates/jitter) is installed for the whole run.
+///
+/// Everything is a pure function of (config, workload seed, plan seed):
+/// the chaos property test reruns plans under several hash salts and
+/// asserts bit-identical digests, commit counts and recovery times.
+class FaultInjector {
+ public:
+  using MapFactory =
+      std::function<std::unique_ptr<partition::PartitionMap>()>;
+
+  /// Single-cluster mode (kCrash/kRejoin events; kFailover events are
+  /// rejected). The cluster must be Load()ed and idle: the constructor
+  /// takes the initial checkpoint recovery rebuilds from, and requires
+  /// config.enable_command_log.
+  FaultInjector(engine::Cluster* cluster, const FaultPlan& plan,
+                MapFactory map_factory);
+
+  /// Replica-group mode (kFailover events; kCrash/kRejoin are rejected —
+  /// intra-replica node crashes are a single-cluster concern). Installs an
+  /// independently seeded LinkChaos per replica (each replica is its own
+  /// data center with its own fabric).
+  FaultInjector(engine::ReplicaGroup* group, const FaultPlan& plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Advances virtual time to `deadline`, applying every fault event due
+  /// on the way. A rejoin whose replay cost pushes the resume point past
+  /// `deadline` overshoots it (time never runs backwards); Now() reports
+  /// the actual position.
+  void RunUntil(SimTime deadline);
+
+  /// Applies any remaining events (a crashed node is always rejoined so
+  /// the run ends whole), then drains the cluster/group.
+  SimTime Drain();
+
+  /// Runs the monitor's record-singularity check at every whole-state
+  /// point: after a crash's drain (before the store is discarded) and
+  /// after a rejoin's rebuild. Single-cluster mode only.
+  void set_monitor(InvariantMonitor* monitor) { monitor_ = monitor; }
+
+  SimTime Now() const;
+  const std::vector<RecoveryStats>& recoveries() const { return recoveries_; }
+  int failovers_applied() const { return failovers_applied_; }
+  size_t events_applied() const { return next_event_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+  void RunMonitor(const char* what);
+  void ApplyCrash(const FaultEvent& event);
+  void ApplyRejoin(const FaultEvent& event);
+  void ApplyFailover();
+  void AdvanceTo(SimTime t);
+
+  engine::Cluster* cluster_ = nullptr;
+  engine::ReplicaGroup* group_ = nullptr;
+  FaultPlan plan_;
+  MapFactory map_factory_;
+  std::vector<std::unique_ptr<LinkChaos>> chaos_;
+  storage::Checkpoint checkpoint_;
+  InvariantMonitor* monitor_ = nullptr;
+
+  size_t next_event_ = 0;
+  NodeId down_node_ = kInvalidNode;
+  SimTime drained_at_ = 0;
+  std::vector<RecoveryStats> recoveries_;
+  int failovers_applied_ = 0;
+};
+
+}  // namespace hermes::fault
+
+#endif  // HERMES_FAULT_INJECTOR_H_

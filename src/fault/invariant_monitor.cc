@@ -1,0 +1,143 @@
+#include "fault/invariant_monitor.h"
+
+#include <cstdio>
+
+namespace hermes::fault {
+
+void InvariantMonitor::Fail(std::string message) {
+  failures_.push_back(std::move(message));
+}
+
+std::string InvariantMonitor::FailureReport() const {
+  std::string out;
+  for (const std::string& f : failures_) {
+    out += f;
+    out += '\n';
+  }
+  return out;
+}
+
+bool InvariantMonitor::CheckRecordSingularity(engine::Cluster& cluster,
+                                              const std::string& context) {
+  const size_t before = failures_.size();
+  const auto& inflight = cluster.executor().inflight_records();
+  char buf[256];
+  for (Key k = 0; k < num_records_; ++k) {
+    int copies = 0;
+    NodeId first = kInvalidNode, second = kInvalidNode;
+    for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+      if (!cluster.node(n).store().Contains(k)) continue;
+      if (copies == 0) {
+        first = n;
+      } else {
+        second = n;
+      }
+      ++copies;
+    }
+    const bool riding = inflight.contains(k);
+    if (copies == 1 && !riding) continue;
+    if (copies == 0 && riding) continue;
+    if (copies > 1) {
+      std::snprintf(buf, sizeof(buf),
+                    "[%s] singularity: key %llu present on %d nodes "
+                    "(e.g. %d and %d)",
+                    context.c_str(), static_cast<unsigned long long>(k),
+                    copies, first, second);
+    } else if (copies == 1 && riding) {
+      const auto& r = inflight.at(k);
+      std::snprintf(buf, sizeof(buf),
+                    "[%s] singularity: key %llu present on node %d AND in "
+                    "flight %d->%d",
+                    context.c_str(), static_cast<unsigned long long>(k),
+                    first, r.from, r.to);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "[%s] singularity: key %llu absent everywhere and not "
+                    "in flight",
+                    context.c_str(), static_cast<unsigned long long>(k));
+    }
+    Fail(buf);
+  }
+  return failures_.size() == before;
+}
+
+bool InvariantMonitor::CheckNoLostRecords(engine::Cluster& cluster,
+                                          const std::string& context) {
+  const size_t before = failures_.size();
+  char buf[256];
+  if (!cluster.executor().inflight_records().empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] lost-records check called with %zu records still in "
+                  "flight (not quiescent)",
+                  context.c_str(),
+                  cluster.executor().inflight_records().size());
+    Fail(buf);
+  }
+  for (Key k = 0; k < num_records_; ++k) {
+    int copies = 0;
+    for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+      if (cluster.node(n).store().Contains(k)) ++copies;
+    }
+    if (copies == 1) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] key %llu has %d copies at quiescence (expected 1)",
+                  context.c_str(), static_cast<unsigned long long>(k),
+                  copies);
+    Fail(buf);
+  }
+  return failures_.size() == before;
+}
+
+bool InvariantMonitor::CheckAgainstOracle(engine::Cluster& live,
+                                          engine::RouterKind kind,
+                                          const MapFactory& map_factory,
+                                          const std::string& context) {
+  const size_t before = failures_.size();
+  char buf[256];
+  // The oracle lives in its own simulation, runs the same config with NO
+  // fault hooks, and consumes the live run's sequenced input verbatim.
+  engine::Cluster oracle(live.config(), kind, map_factory());
+  oracle.Load();
+  oracle.ReplayBatches(live.command_log().batches());
+  if (oracle.placement_digest().value() != live.placement_digest().value()) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] placement digest diverged: live=%016llx "
+                  "oracle=%016llx (chaos changed a routing decision)",
+                  context.c_str(),
+                  static_cast<unsigned long long>(
+                      live.placement_digest().value()),
+                  static_cast<unsigned long long>(
+                      oracle.placement_digest().value()));
+    Fail(buf);
+  }
+  if (oracle.StateChecksum() != live.StateChecksum()) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] state checksum diverged: live=%016llx "
+                  "oracle=%016llx (a committed write was lost or invented)",
+                  context.c_str(),
+                  static_cast<unsigned long long>(live.StateChecksum()),
+                  static_cast<unsigned long long>(oracle.StateChecksum()));
+    Fail(buf);
+  }
+  return failures_.size() == before;
+}
+
+bool InvariantMonitor::CheckReplicaChecksums(engine::ReplicaGroup& group,
+                                             const std::string& context) {
+  const size_t before = failures_.size();
+  if (!group.ReplicasConsistent()) {
+    char buf[256];
+    std::string detail;
+    for (int r = 0; r < group.num_replicas(); ++r) {
+      if (!group.alive(r)) continue;
+      std::snprintf(buf, sizeof(buf), " replica%d=%016llx", r,
+                    static_cast<unsigned long long>(
+                        group.replica(r).StateChecksum()));
+      detail += buf;
+    }
+    Fail("[" + context + "] replica checksums diverged:" + detail);
+  }
+  return failures_.size() == before;
+}
+
+}  // namespace hermes::fault

@@ -1,0 +1,73 @@
+#ifndef HERMES_FAULT_INVARIANT_MONITOR_H_
+#define HERMES_FAULT_INVARIANT_MONITOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "engine/replication.h"
+#include "partition/partition_map.h"
+
+namespace hermes::fault {
+
+/// Checks the engine's safety invariants while (and after) faults are
+/// injected. Every check appends a human-readable diagnostic to
+/// failures() on violation and returns whether it passed, so a chaos test
+/// can assert `monitor.ok()` once and print everything that went wrong.
+///
+/// All checks probe the dense key space 0..num_records-1 through the
+/// deterministic store/executor accessors — no unordered iteration, so the
+/// monitor itself cannot perturb or depend on hash order.
+class InvariantMonitor {
+ public:
+  using MapFactory =
+      std::function<std::unique_ptr<partition::PartitionMap>()>;
+
+  explicit InvariantMonitor(uint64_t num_records)
+      : num_records_(num_records) {}
+
+  /// Record singularity: every key is present in exactly one node's store,
+  /// or absent everywhere but registered in the executor's in-flight
+  /// table. Callable at any instant, including mid-outage.
+  bool CheckRecordSingularity(engine::Cluster& cluster,
+                              const std::string& context);
+
+  /// Quiescent completeness: nothing in flight and every key present
+  /// exactly once. Call after Drain() — a missing key here is a lost
+  /// record (e.g. a committed write discarded by a crash and never
+  /// rebuilt).
+  bool CheckNoLostRecords(engine::Cluster& cluster,
+                          const std::string& context);
+
+  /// Compares the live (chaos-perturbed) cluster against a fault-free
+  /// oracle: a fresh cluster that Load()s and replays the live cluster's
+  /// command log verbatim. Asserts (a) placement-digest equality — chaos
+  /// may perturb event timing but never what the router decided for the
+  /// sequenced batch stream — and (b) StateChecksum equality, which is the
+  /// "no committed write lost, no phantom write invented" check: the log
+  /// IS the database, so the live stores must match what pure replay
+  /// produces. Call at quiescence (after Drain()).
+  bool CheckAgainstOracle(engine::Cluster& live, engine::RouterKind kind,
+                          const MapFactory& map_factory,
+                          const std::string& context);
+
+  /// All live replicas hold bit-identical stores (call after Drain()).
+  bool CheckReplicaChecksums(engine::ReplicaGroup& group,
+                             const std::string& context);
+
+  bool ok() const { return failures_.empty(); }
+  const std::vector<std::string>& failures() const { return failures_; }
+  std::string FailureReport() const;
+
+ private:
+  void Fail(std::string message);
+
+  uint64_t num_records_;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace hermes::fault
+
+#endif  // HERMES_FAULT_INVARIANT_MONITOR_H_

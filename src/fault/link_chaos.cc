@@ -1,0 +1,33 @@
+#include "fault/link_chaos.h"
+
+namespace hermes::fault {
+
+LinkChaos::LinkChaos(const LinkChaosConfig& config, uint64_t seed)
+    : config_(config), rng_(Mix64(seed ^ 0x11c4a05ULL)) {}
+
+sim::Perturbation LinkChaos::Draw(NodeId /*src*/, NodeId /*dst*/,
+                                  uint64_t /*bytes*/, SimTime /*now*/) {
+  ++draws_;
+  sim::Perturbation p;
+  // Wire attempts are lost independently until one gets through (bounded
+  // so a pathological drop_prob cannot stall the simulation).
+  while (p.dropped_attempts < config_.max_drops_per_message &&
+         rng_.NextDouble() < config_.drop_prob) {
+    ++p.dropped_attempts;
+    p.extra_delay_us += config_.retransmit_delay_us;
+  }
+  if (rng_.NextDouble() < config_.duplicate_prob) p.duplicates = 1;
+  if (config_.max_jitter_us > 0) {
+    p.extra_delay_us += rng_.NextBounded(config_.max_jitter_us + 1);
+  }
+  return p;
+}
+
+void LinkChaos::Install(sim::Network* net) {
+  net->set_perturbation(
+      [this](NodeId src, NodeId dst, uint64_t bytes, SimTime now) {
+        return Draw(src, dst, bytes, now);
+      });
+}
+
+}  // namespace hermes::fault

@@ -1,0 +1,40 @@
+#ifndef HERMES_FAULT_LINK_CHAOS_H_
+#define HERMES_FAULT_LINK_CHAOS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fault/fault_plan.h"
+#include "sim/network.h"
+
+namespace hermes::fault {
+
+/// Seeded per-message chaos source. Install()ed into a sim::Network, it is
+/// consulted once per inter-node Send in deterministic Send order, so the
+/// full perturbation history is a pure function of (config, seed) — rerun
+/// the same workload with the same plan and every drop, duplicate and
+/// jitter draw recurs at the same point in the message stream.
+class LinkChaos {
+ public:
+  LinkChaos(const LinkChaosConfig& config, uint64_t seed);
+
+  /// Draws the perturbation for one message (advances the Rng).
+  sim::Perturbation Draw(NodeId src, NodeId dst, uint64_t bytes, SimTime now);
+
+  /// Hooks this chaos source into `net`. The network keeps a copy of the
+  /// std::function, but the state lives here — the LinkChaos must outlive
+  /// the hook (the FaultInjector owns both).
+  void Install(sim::Network* net);
+
+  uint64_t draws() const { return draws_; }
+
+ private:
+  LinkChaosConfig config_;
+  Rng rng_;
+  uint64_t draws_ = 0;
+};
+
+}  // namespace hermes::fault
+
+#endif  // HERMES_FAULT_LINK_CHAOS_H_

@@ -7,12 +7,18 @@
 namespace hermes::sim {
 
 Network::Network(Simulator* sim, const CostModel* costs, int num_nodes)
-    : sim_(sim), costs_(costs), bytes_sent_(num_nodes, 0) {}
+    : sim_(sim), costs_(costs) {
+  EnsureCapacity(num_nodes);
+}
 
 void Network::EnsureCapacity(int num_nodes) {
-  if (static_cast<int>(bytes_sent_.size()) < num_nodes) {
-    bytes_sent_.resize(num_nodes, 0);
-  }
+  const size_t n = static_cast<size_t>(num_nodes);
+  if (bytes_sent_.size() >= n) return;
+  bytes_sent_.resize(n, 0);
+  bytes_received_.resize(n, 0);
+  messages_received_.resize(n, 0);
+  for (auto& row : link_messages_) row.resize(n, 0);
+  link_messages_.resize(n, std::vector<uint64_t>(n, 0));
 }
 
 void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
@@ -26,12 +32,34 @@ void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
     return;
   }
   const uint64_t bytes = payload_bytes + costs_->message_overhead_bytes;
-  bytes_sent_[src] += bytes;
-  total_bytes_ += bytes;
-  ++total_messages_;
+
+  Perturbation p;
+  if (perturb_) p = perturb_(src, dst, bytes, sim_->Now());
+  assert(p.dropped_attempts >= 0 && p.duplicates >= 0);
+
+  // Every wire attempt — dropped, duplicated, or delivered — costs sender
+  // bytes and counts on the directed link.
+  const uint64_t attempts =
+      1 + static_cast<uint64_t>(p.dropped_attempts) +
+      static_cast<uint64_t>(p.duplicates);
+  bytes_sent_[src] += bytes * attempts;
+  total_bytes_ += bytes * attempts;
+  total_messages_ += attempts;
+  link_messages_[src][dst] += attempts;
+  messages_dropped_ += p.dropped_attempts;
+  messages_duplicated_ += p.duplicates;
+
+  // Delivered copies (the real one plus dedup-suppressed duplicates) count
+  // at the receiver; the callback fires exactly once.
+  const uint64_t delivered = 1 + static_cast<uint64_t>(p.duplicates);
+  bytes_received_[dst] += bytes * delivered;
+  total_bytes_received_ += bytes * delivered;
+  messages_received_[dst] += delivered;
+
   const SimTime wire =
       costs_->net_latency_us +
-      static_cast<SimTime>(std::llround(bytes * costs_->net_us_per_byte));
+      static_cast<SimTime>(std::llround(bytes * costs_->net_us_per_byte)) +
+      p.extra_delay_us;
   sim_->Schedule(wire, std::move(on_delivery));
 }
 

@@ -11,12 +11,38 @@
 
 namespace hermes::sim {
 
+/// How the fault layer perturbs one message (see src/fault/link_chaos.h).
+/// The engine above the network assumes a *reliable, exactly-once*
+/// transport, so chaos is modeled underneath that contract: a dropped wire
+/// attempt is retransmitted (costing extra bytes and delay), a duplicated
+/// attempt is suppressed by receiver-side dedup (costing bytes in both
+/// directions but delivering the callback exactly once), and jitter delays
+/// delivery. Delivery is therefore delayed and more expensive, never lost —
+/// which keeps record singularity and lock-ordering invariants intact.
+struct Perturbation {
+  /// Wire attempts lost before the one that lands (each costs sender bytes
+  /// and contributes `extra_delay_us` backoff chosen by the fault layer).
+  int dropped_attempts = 0;
+  /// Redundant delivered copies deduplicated by the transport (each costs
+  /// bytes at both ends; the delivery callback still fires once).
+  int duplicates = 0;
+  /// Extra delivery delay: jitter plus retransmission backoff.
+  SimTime extra_delay_us = 0;
+};
+
 /// Point-to-point message fabric between simulated nodes. Delivery time is
 /// latency + bytes * us_per_byte; per-node byte counters feed the Fig. 8
 /// network-usage series. Messages between a node and itself are delivered
 /// after zero wire time (still asynchronously, preserving event ordering).
 class Network {
  public:
+  /// Decides the perturbation for one inter-node message. Must be a pure
+  /// function of its own (seeded) state and the call sequence — never of
+  /// wall clock — so chaos runs stay deterministic.
+  using PerturbationFn =
+      std::function<Perturbation(NodeId src, NodeId dst, uint64_t bytes,
+                                 SimTime now)>;
+
   Network(Simulator* sim, const CostModel* costs, int num_nodes);
 
   Network(const Network&) = delete;
@@ -31,16 +57,47 @@ class Network {
   /// Grows counters when nodes are added by dynamic provisioning.
   void EnsureCapacity(int num_nodes);
 
+  /// Installs (or clears, with nullptr) the fault-injection hook consulted
+  /// for every inter-node message.
+  void set_perturbation(PerturbationFn fn) { perturb_ = std::move(fn); }
+
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
   uint64_t bytes_sent(NodeId node) const { return bytes_sent_[node]; }
+
+  /// Bytes successfully delivered to `node` (equals the send-side count
+  /// minus in-flight and dropped wire attempts, plus duplicated copies).
+  uint64_t bytes_received(NodeId node) const { return bytes_received_[node]; }
+  uint64_t total_bytes_received() const { return total_bytes_received_; }
+  uint64_t messages_received(NodeId node) const {
+    return messages_received_[node];
+  }
+
+  /// Wire attempts (including drops and duplicates) on the directed link
+  /// src -> dst.
+  uint64_t link_messages(NodeId src, NodeId dst) const {
+    return link_messages_[src][dst];
+  }
+
+  /// Wire attempts lost to fault injection (each was retransmitted).
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  /// Redundant duplicate deliveries suppressed by transport dedup.
+  uint64_t messages_duplicated() const { return messages_duplicated_; }
 
  private:
   Simulator* sim_;
   const CostModel* costs_;
   std::vector<uint64_t> bytes_sent_;
+  std::vector<uint64_t> bytes_received_;
+  std::vector<uint64_t> messages_received_;
+  /// link_messages_[src][dst]: wire attempts on the directed link.
+  std::vector<std::vector<uint64_t>> link_messages_;
+  PerturbationFn perturb_;
   uint64_t total_bytes_ = 0;
+  uint64_t total_bytes_received_ = 0;
   uint64_t total_messages_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t messages_duplicated_ = 0;
 };
 
 }  // namespace hermes::sim

@@ -55,6 +55,11 @@ class RecordStore {
   /// Reverts a write using the pre-image captured in the undo log.
   void Restore(Key key, const Record& pre_image);
 
+  /// Drops every record. Models a node crash losing its (volatile)
+  /// main-memory table; only the fault injector calls this, immediately
+  /// followed by a checkpoint+replay rebuild before the node serves again.
+  void Clear() { records_.clear(); }
+
   size_t size() const { return records_.size(); }
 
   /// Order-insensitive fingerprint of the whole store (for determinism and

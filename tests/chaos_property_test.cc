@@ -1,0 +1,212 @@
+// Multi-seed chaos property test: many seeded fault plans (crash/rejoin
+// cycles + link chaos) run against seeded workloads; for every plan the
+// invariant monitors must hold, the fault-free oracle must agree, and the
+// entire outcome — decision digest, placement digest, state checksum,
+// commit count, chaos counters, recovery times — must be bit-identical
+// under several hash salts. Chaos multiplies the event interleavings the
+// engine sees; this test proves none of them leaks nondeterminism.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "engine/cluster.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "fault/invariant_monitor.h"
+#include "partition/partition_map.h"
+#include "workload/client.h"
+#include "workload/ycsb.h"
+
+namespace hermes {
+namespace {
+
+using engine::Cluster;
+using engine::RouterKind;
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::FaultPlanConfig;
+using fault::InvariantMonitor;
+
+constexpr int kNumSeeds = 25;
+constexpr uint64_t kSeedBase = 20'260'000;
+
+std::vector<uint64_t> PerturbationSalts() {
+  return {HashSalt(), 0x9e3779b97f4a7c15ULL, 0xdeadbeefcafef00dULL};
+}
+
+ClusterConfig ChaosConfig() {
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_records = 6'000;
+  config.hermes.fusion_table_capacity = 250;
+  return config;
+}
+
+FaultInjector::MapFactory MapFactory(const ClusterConfig& config) {
+  const uint64_t records = config.num_records;
+  const int nodes = config.num_nodes;
+  return [records, nodes] {
+    return std::make_unique<partition::RangePartitionMap>(records, nodes);
+  };
+}
+
+FaultPlan MakePlan(const ClusterConfig& config, uint64_t seed) {
+  FaultPlanConfig pc;
+  pc.horizon_us = MsToSim(120);
+  pc.num_nodes = config.num_nodes;
+  pc.crash_cycles = 1;
+  pc.min_outage_us = MsToSim(10);
+  pc.max_outage_us = MsToSim(40);
+  pc.link.drop_prob = 0.05;
+  pc.link.duplicate_prob = 0.03;
+  pc.link.max_jitter_us = 300;
+  return FaultPlan::Generate(pc, seed);
+}
+
+struct ChaosOutcome {
+  uint64_t decision_digest = 0;
+  uint64_t decision_count = 0;
+  uint64_t placement_digest = 0;
+  uint64_t state_checksum = 0;
+  uint64_t commits = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  std::vector<SimTime> recovery_us;
+  bool monitors_ok = true;
+  std::string report;
+};
+
+bool SameOutcome(const ChaosOutcome& a, const ChaosOutcome& b) {
+  return a.decision_digest == b.decision_digest &&
+         a.decision_count == b.decision_count &&
+         a.placement_digest == b.placement_digest &&
+         a.state_checksum == b.state_checksum && a.commits == b.commits &&
+         a.dropped == b.dropped && a.duplicated == b.duplicated &&
+         a.recovery_us == b.recovery_us;
+}
+
+/// One chaos lifetime: seeded plan + seeded skewed YCSB on the Hermes
+/// router. `deep_checks` additionally replays the command log through a
+/// fault-free oracle (run it on one salt per seed; it is pure overhead on
+/// the others since the compared digests are already in the outcome).
+ChaosOutcome RunChaos(uint64_t plan_seed, bool deep_checks) {
+  const ClusterConfig config = ChaosConfig();
+  Cluster cluster(config, RouterKind::kHermes, MapFactory(config)());
+  cluster.Load();
+
+  const FaultPlan plan = MakePlan(config, plan_seed);
+  FaultInjector injector(&cluster, plan, MapFactory(config));
+  InvariantMonitor monitor(config.num_records);
+  injector.set_monitor(&monitor);
+
+  workload::YcsbConfig wl;
+  wl.num_records = config.num_records;
+  wl.num_partitions = config.num_nodes;
+  wl.seed = Mix64(plan_seed ^ 0x5c5bULL);
+  workload::YcsbWorkload gen(wl, nullptr);
+  workload::ClosedLoopDriver driver(
+      &cluster, 8, [&gen](int, SimTime now) { return gen.Next(now); });
+  driver.set_stop_time(MsToSim(120));
+  driver.Start();
+
+  injector.RunUntil(MsToSim(120));
+  injector.Drain();
+
+  monitor.CheckRecordSingularity(cluster, "final");
+  monitor.CheckNoLostRecords(cluster, "final");
+  if (deep_checks) {
+    monitor.CheckAgainstOracle(cluster, RouterKind::kHermes,
+                               MapFactory(config), "oracle");
+  }
+
+  ChaosOutcome out;
+  out.decision_digest = cluster.decision_digest().value();
+  out.decision_count = cluster.decision_digest().count();
+  out.placement_digest = cluster.placement_digest().value();
+  out.state_checksum = cluster.StateChecksum();
+  out.commits = cluster.metrics().total_commits();
+  out.dropped = cluster.network().messages_dropped();
+  out.duplicated = cluster.network().messages_duplicated();
+  for (const fault::RecoveryStats& r : injector.recoveries()) {
+    out.recovery_us.push_back(r.time_to_recover_us());
+  }
+  out.monitors_ok = monitor.ok();
+  out.report = monitor.FailureReport();
+  return out;
+}
+
+TEST(ChaosPropertyTest, ManySeededPlansHoldInvariantsAndStayDeterministic) {
+  const uint64_t old_salt = HashSalt();
+  const std::vector<uint64_t> salts = PerturbationSalts();
+  uint64_t total_chaos = 0;
+
+  for (int s = 0; s < kNumSeeds; ++s) {
+    const uint64_t plan_seed = kSeedBase + s;
+    std::vector<ChaosOutcome> outcomes;
+    for (size_t i = 0; i < salts.size(); ++i) {
+      SetHashSalt(salts[i]);
+      outcomes.push_back(RunChaos(plan_seed, /*deep_checks=*/i == 0));
+    }
+    SetHashSalt(old_salt);
+
+    const ChaosOutcome& base = outcomes[0];
+    ASSERT_TRUE(base.monitors_ok)
+        << "plan seed " << plan_seed << ":\n" << base.report;
+    ASSERT_GT(base.commits, 50u) << "plan seed " << plan_seed;
+    ASSERT_FALSE(base.recovery_us.empty()) << "plan seed " << plan_seed;
+    // A single low-traffic plan can legitimately draw zero drops; require
+    // link chaos to fire across the corpus (asserted after the loop).
+    total_chaos += base.dropped + base.duplicated;
+
+    for (size_t i = 1; i < outcomes.size(); ++i) {
+      ASSERT_TRUE(outcomes[i].monitors_ok)
+          << "plan seed " << plan_seed << " salt 0x" << std::hex << salts[i]
+          << ":\n" << outcomes[i].report;
+      EXPECT_TRUE(SameOutcome(base, outcomes[i]))
+          << "plan seed " << plan_seed << " diverged under salt 0x"
+          << std::hex << salts[i] << ": digest "
+          << outcomes[i].decision_digest << " vs " << base.decision_digest
+          << ", placement " << outcomes[i].placement_digest << " vs "
+          << base.placement_digest << std::dec << ", commits "
+          << outcomes[i].commits << " vs " << base.commits
+          << " — a fault-path decision depends on hash iteration order";
+    }
+  }
+  EXPECT_GT(total_chaos, 0u) << "link chaos never fired across any seed";
+}
+
+// One seeded chaos lifetime under the PROCESS salt (HERMES_HASH_SALT),
+// printing a parseable outcome line. scripts/check_determinism.sh --chaos
+// runs this binary under several env salts and requires every printed
+// CHAOS_PROFILE line to be identical across processes.
+TEST(ChaosScriptProfile, SingleSeededPlanPrintsOutcome) {
+  const ChaosOutcome out = RunChaos(kSeedBase + 1000, /*deep_checks=*/true);
+  ASSERT_TRUE(out.monitors_ok) << out.report;
+  ASSERT_FALSE(out.recovery_us.empty());
+  std::string recoveries;
+  char buf[32];
+  for (SimTime t : out.recovery_us) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", recoveries.empty() ? "" : ",",
+                  static_cast<unsigned long long>(t));
+    recoveries += buf;
+  }
+  std::printf("CHAOS_PROFILE digest=%016llx placement=%016llx "
+              "checksum=%016llx commits=%llu dropped=%llu dup=%llu "
+              "recovery_us=%s\n",
+              static_cast<unsigned long long>(out.decision_digest),
+              static_cast<unsigned long long>(out.placement_digest),
+              static_cast<unsigned long long>(out.state_checksum),
+              static_cast<unsigned long long>(out.commits),
+              static_cast<unsigned long long>(out.dropped),
+              static_cast<unsigned long long>(out.duplicated),
+              recoveries.c_str());
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,109 @@
+// FaultPlan generation: seeded, totally ordered, structurally valid
+// schedules — the foundation the chaos tests build on.
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+
+namespace hermes::fault {
+namespace {
+
+FaultPlanConfig BaseConfig() {
+  FaultPlanConfig config;
+  config.horizon_us = SecToSim(2);
+  config.num_nodes = 4;
+  config.crash_cycles = 3;
+  config.min_outage_us = MsToSim(20);
+  config.max_outage_us = MsToSim(200);
+  return config;
+}
+
+TEST(FaultPlanTest, SameSeedSamePlan) {
+  const FaultPlanConfig config = BaseConfig();
+  const FaultPlan a = FaultPlan::Generate(config, 42);
+  const FaultPlan b = FaultPlan::Generate(config, 42);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].node, b.events[i].node);
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiffer) {
+  const FaultPlanConfig config = BaseConfig();
+  const FaultPlan a = FaultPlan::Generate(config, 1);
+  const FaultPlan b = FaultPlan::Generate(config, 2);
+  bool differ = a.events.size() != b.events.size();
+  for (size_t i = 0; !differ && i < a.events.size(); ++i) {
+    differ = a.events[i].at != b.events[i].at ||
+             a.events[i].node != b.events[i].node;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultPlanTest, EventsSortedAndPaired) {
+  const FaultPlanConfig config = BaseConfig();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const FaultPlan plan = FaultPlan::Generate(config, seed);
+    EXPECT_EQ(plan.events.size(), 2u * config.crash_cycles);
+    NodeId down = kInvalidNode;
+    SimTime prev = 0;
+    for (const FaultEvent& e : plan.events) {
+      EXPECT_GE(e.at, prev) << "events out of order, seed " << seed;
+      prev = e.at;
+      EXPECT_LT(e.at, config.horizon_us);
+      EXPECT_GE(e.node, 0);
+      EXPECT_LT(e.node, config.num_nodes);
+      if (e.kind == FaultEvent::Kind::kCrash) {
+        EXPECT_EQ(down, kInvalidNode) << "overlapping outages, seed " << seed;
+        down = e.node;
+      } else {
+        ASSERT_EQ(e.kind, FaultEvent::Kind::kRejoin);
+        EXPECT_EQ(down, e.node) << "rejoin without crash, seed " << seed;
+        down = kInvalidNode;
+      }
+    }
+    EXPECT_EQ(down, kInvalidNode) << "crash never rejoined, seed " << seed;
+  }
+}
+
+TEST(FaultPlanTest, OutageBoundsRespected) {
+  const FaultPlanConfig config = BaseConfig();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const FaultPlan plan = FaultPlan::Generate(config, seed);
+    for (size_t i = 0; i + 1 < plan.events.size(); i += 2) {
+      const SimTime outage = plan.events[i + 1].at - plan.events[i].at;
+      EXPECT_GE(outage, config.min_outage_us);
+      EXPECT_LE(outage, config.max_outage_us);
+    }
+  }
+}
+
+TEST(FaultPlanTest, FailoverLandsMidRun) {
+  FaultPlanConfig config = BaseConfig();
+  config.crash_cycles = 0;
+  config.inject_failover = true;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const FaultPlan plan = FaultPlan::Generate(config, seed);
+    ASSERT_EQ(plan.events.size(), 1u);
+    EXPECT_EQ(plan.events[0].kind, FaultEvent::Kind::kFailover);
+    EXPECT_GE(plan.events[0].at, config.horizon_us / 5);
+    EXPECT_LT(plan.events[0].at, 4 * config.horizon_us / 5);
+  }
+}
+
+TEST(FaultPlanTest, LinkConfigCarriedThrough) {
+  FaultPlanConfig config = BaseConfig();
+  config.link.drop_prob = 0.05;
+  config.link.duplicate_prob = 0.02;
+  config.link.max_jitter_us = 123;
+  const FaultPlan plan = FaultPlan::Generate(config, 9);
+  EXPECT_DOUBLE_EQ(plan.link.drop_prob, 0.05);
+  EXPECT_DOUBLE_EQ(plan.link.duplicate_prob, 0.02);
+  EXPECT_EQ(plan.link.max_jitter_us, 123u);
+  EXPECT_FALSE(plan.DebugString().empty());
+}
+
+}  // namespace
+}  // namespace hermes::fault

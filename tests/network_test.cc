@@ -58,6 +58,121 @@ TEST(NetworkTest, EnsureCapacityGrowsCounters) {
   net.Send(4, 0, 100, [] {});
   sim.RunAll();
   EXPECT_GT(net.bytes_sent(4), 0u);
+  EXPECT_GT(net.bytes_received(0), 0u);
+  EXPECT_EQ(net.link_messages(4, 0), 1u);
+}
+
+TEST(NetworkTest, ReceiverAndLinkCountersMatchSends) {
+  Simulator sim;
+  CostModel costs;
+  costs.message_overhead_bytes = 64;
+  Network net(&sim, &costs, 3);
+  net.Send(0, 1, 1000, [] {});
+  net.Send(0, 2, 1000, [] {});
+  net.Send(2, 1, 500, [] {});
+  sim.RunAll();
+  EXPECT_EQ(net.bytes_received(1), 1064u + 564u);
+  EXPECT_EQ(net.bytes_received(2), 1064u);
+  EXPECT_EQ(net.bytes_received(0), 0u);
+  EXPECT_EQ(net.total_bytes_received(), net.total_bytes());
+  EXPECT_EQ(net.messages_received(1), 2u);
+  EXPECT_EQ(net.link_messages(0, 1), 1u);
+  EXPECT_EQ(net.link_messages(0, 2), 1u);
+  EXPECT_EQ(net.link_messages(2, 1), 1u);
+  EXPECT_EQ(net.link_messages(1, 0), 0u);
+}
+
+TEST(NetworkTest, SelfSendCountsNothing) {
+  Simulator sim;
+  CostModel costs;
+  Network net(&sim, &costs, 2);
+  net.Send(1, 1, 5'000, [] {});
+  sim.RunAll();
+  EXPECT_EQ(net.total_bytes_received(), 0u);
+  EXPECT_EQ(net.messages_received(1), 0u);
+  EXPECT_EQ(net.link_messages(1, 1), 0u);
+}
+
+TEST(NetworkTest, EnsureCapacityGrowsLinkMatrixBothDimensions) {
+  Simulator sim;
+  CostModel costs;
+  Network net(&sim, &costs, 2);
+  net.Send(0, 1, 100, [] {});
+  net.EnsureCapacity(4);
+  net.Send(3, 0, 100, [] {});
+  net.Send(1, 3, 100, [] {});
+  sim.RunAll();
+  EXPECT_EQ(net.link_messages(0, 1), 1u);  // preserved across the grow
+  EXPECT_EQ(net.link_messages(3, 0), 1u);
+  EXPECT_EQ(net.link_messages(1, 3), 1u);
+}
+
+TEST(NetworkTest, DroppedAttemptsCostSenderNotReceiver) {
+  // A drop is a retransmitted wire attempt: the sender pays the bytes
+  // again and delivery slips, but the payload lands exactly once.
+  Simulator sim;
+  CostModel costs;
+  costs.net_latency_us = 100;
+  costs.net_us_per_byte = 0.0;
+  costs.message_overhead_bytes = 0;
+  Network net(&sim, &costs, 2);
+  net.set_perturbation([](NodeId, NodeId, uint64_t, SimTime) {
+    Perturbation p;
+    p.dropped_attempts = 2;
+    p.extra_delay_us = 400;  // 2 retransmit timeouts
+    return p;
+  });
+  int deliveries = 0;
+  SimTime delivered_at = 0;
+  net.Send(0, 1, 1000, [&] {
+    ++deliveries;
+    delivered_at = sim.Now();
+  });
+  sim.RunAll();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(delivered_at, 100u + 400u);
+  EXPECT_EQ(net.bytes_sent(0), 3000u);      // 3 wire attempts
+  EXPECT_EQ(net.bytes_received(1), 1000u);  // one landed
+  EXPECT_EQ(net.link_messages(0, 1), 3u);
+  EXPECT_EQ(net.messages_dropped(), 2u);
+  EXPECT_EQ(net.messages_duplicated(), 0u);
+}
+
+TEST(NetworkTest, DuplicatesCostBothEndsButDeliverOnce) {
+  // A duplicate is an extra wire copy absorbed by receiver-side dedup:
+  // bytes count at both ends, the callback still fires exactly once.
+  Simulator sim;
+  CostModel costs;
+  costs.message_overhead_bytes = 0;
+  Network net(&sim, &costs, 2);
+  net.set_perturbation([](NodeId, NodeId, uint64_t, SimTime) {
+    Perturbation p;
+    p.duplicates = 1;
+    return p;
+  });
+  int deliveries = 0;
+  net.Send(0, 1, 1000, [&] { ++deliveries; });
+  sim.RunAll();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(net.bytes_sent(0), 2000u);
+  EXPECT_EQ(net.bytes_received(1), 2000u);
+  EXPECT_EQ(net.messages_received(1), 2u);
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+}
+
+TEST(NetworkTest, PerturbationIgnoresSelfSends) {
+  Simulator sim;
+  CostModel costs;
+  Network net(&sim, &costs, 2);
+  int consulted = 0;
+  net.set_perturbation([&](NodeId, NodeId, uint64_t, SimTime) {
+    ++consulted;
+    return Perturbation{};
+  });
+  net.Send(1, 1, 100, [] {});
+  net.Send(0, 1, 100, [] {});
+  sim.RunAll();
+  EXPECT_EQ(consulted, 1);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "engine/cluster.h"
 #include "engine/recovery.h"
+#include "fault/invariant_monitor.h"
 #include "partition/partition_map.h"
 #include "storage/serialization.h"
 #include "workload/client.h"
@@ -155,6 +156,71 @@ TEST(RecoveryTest, DurableRecoveryThroughFiles) {
       engine::RecoverCluster(config, RouterKind::kHermes, BaseMap(config),
                              restored_ckpt, restored_log);
   EXPECT_EQ(recovered->StateChecksum(), primary.StateChecksum());
+}
+
+TEST(RecoveryTest, MidElasticCheckpointReplaysInFlightMigration) {
+  // A checkpoint taken at a batch boundary in the MIDDLE of a scale-out —
+  // cold chunk migrations half done, the rest still queued or parked at
+  // the paused sequencer — plus a replay of the suffix must reproduce the
+  // final state exactly. The queued-but-unsequenced chunks are absent from
+  // the checkpoint by design: they enter the total order after the
+  // boundary, so the suffix covers them.
+  ClusterConfig config = RecoveryConfig();
+  config.migration_chunk_records = 500;
+  workload::YcsbConfig wl;
+  wl.num_records = config.num_records;
+  wl.num_partitions = config.num_nodes;
+  wl.seed = 4711;
+
+  Cluster primary(config, RouterKind::kHermes, BaseMap(config));
+  primary.Load();
+  workload::YcsbWorkload gen(wl, nullptr);
+  workload::ClosedLoopDriver driver(
+      &primary, 16, [&gen](int, SimTime now) { return gen.Next(now); });
+  driver.set_stop_time(MsToSim(300));
+  driver.Start();
+  primary.RunUntil(MsToSim(200));
+
+  // Scale out: 2500 records re-home onto the new node in 500-record
+  // chunks, interleaved with the regular workload.
+  primary.AddNode({{0, 2499, 4}}, /*migrate_cold=*/true);
+  primary.RunUntil(MsToSim(225));
+
+  // Checkpoint at the next batch boundary: pause intake, drain to
+  // quiescence. The migration must genuinely be mid-flight here.
+  primary.PauseIntake();
+  primary.Drain();
+  const size_t moved = primary.node(4).store().size();
+  ASSERT_GT(moved, 0u) << "no chunk landed yet - checkpoint too early";
+  ASSERT_LT(moved, 2500u) << "migration already done - checkpoint too late";
+  const storage::Checkpoint checkpoint = primary.TakeCheckpoint();
+  EXPECT_EQ(checkpoint.stores.size(), 5u);
+  primary.ResumeIntake();
+
+  // Finish the elastic phase and the workload. The new node ends up with
+  // the cold part of the range; hot keys promoted to the fusion table are
+  // placed by the router and may live elsewhere, so < 2500 is expected.
+  primary.RunUntil(MsToSim(450));
+  primary.Drain();
+  EXPECT_GT(primary.node(4).store().size(), 2000u);
+
+  // The replacement restores the mid-elastic checkpoint and replays the
+  // suffix - including the chunks that were still queued at the boundary.
+  auto recovered =
+      engine::RecoverCluster(config, RouterKind::kHermes, BaseMap(config),
+                             checkpoint, primary.command_log());
+  EXPECT_EQ(recovered->num_nodes(), 5);
+  EXPECT_EQ(recovered->StateChecksum(), primary.StateChecksum());
+  EXPECT_EQ(recovered->fusion_table()->Checksum(),
+            primary.fusion_table()->Checksum());
+
+  // Digest equality vs a full-replay oracle: the routing-decision stream
+  // of the live elastic run is reproduced bit for bit from the log alone.
+  fault::InvariantMonitor monitor(config.num_records);
+  EXPECT_TRUE(monitor.CheckAgainstOracle(
+      primary, RouterKind::kHermes,
+      [&config] { return BaseMap(config); }, "mid-elastic"))
+      << monitor.FailureReport();
 }
 
 TEST(RecoveryTest, ReplayIncludesColdMigrations) {
