@@ -13,6 +13,12 @@
 # decision digest, placement digest, state checksum, commit count, chaos
 # counters and recovery times — must be one value across the env salts.
 #
+# The degraded profile covers the kCrashNoStall path: the cluster keeps
+# sequencing through the outage, so the DEGRADED_PROFILE line additionally
+# folds in the retry-transcript digest and the park/retry/watchdog
+# counters — the full degraded decision history must be salt-invariant,
+# not just the end state.
+#
 # Usage: scripts/check_determinism.sh [build-dir]   (default: build)
 
 set -eu
@@ -73,3 +79,18 @@ fi
 
 echo "OK: chaos outcome identical across all env salts:"
 echo "  $profiles"
+
+# Degraded profile: the same processes also print a DEGRADED_PROFILE line
+# for a seeded no-stall plan (crash without intake pause). Its retry
+# transcript digest and counters must be one value across the env salts.
+degraded="$(sed -n 's/^DEGRADED_PROFILE //p' "$chaos_out" | sort -u)"
+degraded_count="$(printf '%s\n' "$degraded" | grep -c . || true)"
+
+if [ "$degraded_count" -ne 1 ]; then
+  echo "FAIL: expected one degraded outcome across all salts, got $degraded_count:" >&2
+  printf '%s\n' "$degraded" >&2
+  exit 1
+fi
+
+echo "OK: degraded outcome identical across all env salts:"
+echo "  $degraded"

@@ -77,6 +77,35 @@ struct HermesConfig {
   bool backward_pass = true;
 };
 
+/// Degraded-mode (no-stall crash) parameters. Every value feeds a pure
+/// function of (txn id, attempt, config) or of virtual time, so retry
+/// slots, watchdog sweeps and reclaim deadlines are identical across
+/// hash salts and across live vs. replay runs.
+struct DegradedConfig {
+  /// Retries a blocked regular transaction gets before the cluster
+  /// returns a deterministic UNAVAILABLE abort to the client.
+  uint32_t max_retries = 3;
+  /// Exponential backoff base: delay(attempt) =
+  /// min(base << attempt, cap) + jitter, in virtual microseconds.
+  SimTime retry_backoff_base_us = 2000;
+  SimTime retry_backoff_cap_us = 64'000;
+  /// Deterministic "jitter" drawn as Mix64(txn id ^ attempt) % (j + 1):
+  /// decorrelates retry slots without consulting any RNG stream.
+  SimTime retry_jitter_us = 1000;
+  /// Virtual time an executor presence-wait may point at a dead node
+  /// before the watchdog aborts the waiter.
+  SimTime watchdog_deadline_us = 5000;
+  /// Watchdog re-sweep period while any node is down.
+  SimTime watchdog_period_us = 5000;
+  /// Timeout after which a record shipped toward a node that died in
+  /// flight is reclaimed by re-inserting it at the sender.
+  SimTime reclaim_timeout_us = 2000;
+  /// Virtual cost charged per replayed batch when a no-stall victim
+  /// rebuilds in the background (the stall model measures this live;
+  /// degraded mode charges it without pausing intake).
+  SimTime replay_us_per_batch = 150;
+};
+
 /// Top-level configuration of a simulated cluster.
 struct ClusterConfig {
   int num_nodes = 4;
@@ -101,6 +130,7 @@ struct ClusterConfig {
   /// time the transaction executes, forcing a deterministic abort and one
   /// retry (§2.1). Drawn from the cluster's seeded RNG.
   double ollp_stale_prob = 0.05;
+  DegradedConfig degraded;
 };
 
 }  // namespace hermes

@@ -1,0 +1,24 @@
+#include "common/membership.h"
+
+#include <cstdio>
+
+namespace hermes {
+
+std::string MembershipView::DebugString() const {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "membership epoch=%u down=[",
+                epoch_);
+  out += buf;
+  bool first = true;
+  for (size_t i = 0; i < down_.size(); ++i) {
+    if (!down_[i]) continue;
+    std::snprintf(buf, sizeof(buf), "%s%zu", first ? "" : ",", i);
+    out += buf;
+    first = false;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace hermes

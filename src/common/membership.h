@@ -1,0 +1,88 @@
+#ifndef HERMES_COMMON_MEMBERSHIP_H_
+#define HERMES_COMMON_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hermes {
+
+/// One membership transition, anchored to the command log: the change is
+/// in effect for every batch with id >= from_batch. Because the fault
+/// plan is a pure function of (config, seed) and batch ids are assigned
+/// in total order, the whole schedule is deterministic and a replay fed
+/// the same schedule reproduces every routing decision bit-for-bit.
+struct MembershipEvent {
+  BatchId from_batch = 0;
+  NodeId node = kInvalidNode;
+  bool alive = false;  ///< false = MarkDown, true = MarkUp
+  uint32_t epoch = 0;  ///< membership epoch after applying this event
+};
+
+/// A watchdog abort recorded against the log: txn (already ordered in
+/// some batch before from_batch) was UNDO-aborted while node(s) were
+/// down, and `stranded` keys were left physically at a dead node even
+/// though ownership says otherwise. Replay flips the txn to a §4.2
+/// user-abort and strands the same keys, keeping placement digests and
+/// state checksums aligned.
+struct AbortRecord {
+  BatchId from_batch = 0;
+  TxnId txn = kInvalidTxn;
+  std::vector<Key> stranded;  ///< sorted
+};
+
+/// Everything a replay needs to reproduce a degraded-mode run: the
+/// membership transitions and the watchdog abort decisions, both in
+/// log order.
+struct DegradedSchedule {
+  std::vector<MembershipEvent> events;
+  std::vector<AbortRecord> aborts;
+
+  bool empty() const { return events.empty() && aborts.empty(); }
+};
+
+/// Epoch-numbered liveness view fed to the routers. Nodes default to
+/// alive (including nodes added later by provisioning markers); MarkDown
+/// and MarkUp bump the epoch so candidate-set caches can invalidate.
+/// Pure bookkeeping: every mutation is driven by the fault plan (live)
+/// or the recorded schedule (replay), never by wall clock or hash order.
+class MembershipView {
+ public:
+  bool alive(NodeId node) const {
+    const size_t i = static_cast<size_t>(node);
+    return i >= down_.size() || !down_[i];
+  }
+  bool any_down() const { return down_count_ > 0; }
+  int down_count() const { return down_count_; }
+  uint32_t epoch() const { return epoch_; }
+
+  void MarkDown(NodeId node) {
+    const size_t i = static_cast<size_t>(node);
+    if (i >= down_.size()) down_.resize(i + 1, 0);
+    if (down_[i]) return;
+    down_[i] = 1;
+    ++down_count_;
+    ++epoch_;
+  }
+
+  void MarkUp(NodeId node) {
+    const size_t i = static_cast<size_t>(node);
+    if (i >= down_.size() || !down_[i]) return;
+    down_[i] = 0;
+    --down_count_;
+    ++epoch_;
+  }
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<uint8_t> down_;  ///< indexed by NodeId; absent = alive
+  int down_count_ = 0;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_MEMBERSHIP_H_

@@ -31,23 +31,7 @@ void FusionTable::TouchEntry(Entry& entry, Key key) {
 }
 
 void FusionTable::Put(Key key, NodeId node, std::vector<Key>* evicted) {
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second.node = node;
-    // FIFO keeps the original insertion slot; LRU refreshes on update.
-    if (policy_ == EvictionPolicy::kLru) TouchEntry(it->second, key);
-  } else {
-    order_.push_back(key);
-    entries_[key] = Entry{node, std::prev(order_.end())};
-  }
-  if (capacity_ == 0) return;
-  while (entries_.size() > capacity_) {
-    Key victim = order_.front();
-    order_.pop_front();
-    entries_.erase(victim);
-    if (digest_ != nullptr) digest_->Mix(victim);
-    evicted->push_back(victim);
-  }
+  PutPinnedImpl(key, node, [](Key) { return false; }, evicted);
 }
 
 void FusionTable::PutPinned(Key key, NodeId node, const HashSet<Key>& pinned,
@@ -82,8 +66,9 @@ void FusionTable::PutPinnedImpl(Key key, NodeId node, PinnedFn&& is_pinned,
   if (capacity_ == 0) return;
   auto victim = order_.begin();
   while (entries_.size() > capacity_ && victim != order_.end()) {
-    if (is_pinned(*victim)) {
-      ++victim;  // pinned entries keep their slot and recency
+    if (is_pinned(*victim) ||
+        (evictable_ != nullptr && !evictable_(*victim))) {
+      ++victim;  // pinned / filtered entries keep their slot and recency
       continue;
     }
     const Key evictee = *victim;

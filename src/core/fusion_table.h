@@ -1,6 +1,7 @@
 #ifndef HERMES_CORE_FUSION_TABLE_H_
 #define HERMES_CORE_FUSION_TABLE_H_
 
+#include <functional>
 #include <list>
 #include <optional>
 #include <span>
@@ -81,6 +82,15 @@ class FusionTable {
   /// migration accesses to the current transaction's plan).
   void set_digest(DecisionDigest* digest) { digest_ = digest; }
 
+  /// Eviction eligibility filter (nullptr = everything evictable). Used
+  /// by degraded mode: a key whose homeward migration would ship toward a
+  /// dead node keeps its slot until that node rejoins. The filter must be
+  /// a pure function of deterministic state (membership epoch + static
+  /// homes), never of hash order or wall clock.
+  void set_eviction_filter(std::function<bool(Key)> evictable) {
+    evictable_ = std::move(evictable);
+  }
+
  private:
   struct Entry {
     NodeId node;
@@ -98,6 +108,7 @@ class FusionTable {
   std::list<Key> order_;  // front = oldest / next eviction victim
   HashMap<Key, Entry> entries_;
   DecisionDigest* digest_ = nullptr;
+  std::function<bool(Key)> evictable_;
 };
 
 }  // namespace hermes::core

@@ -30,7 +30,15 @@ HermesRouter::HermesRouter(partition::OwnershipMap* ownership,
                            const HermesConfig& config)
     : Router(ownership, costs, num_nodes),
       config_(config),
-      fusion_table_(config.fusion_table_capacity, config.eviction_policy) {}
+      fusion_table_(config.fusion_table_capacity, config.eviction_policy) {
+  // Degraded mode: never pick an eviction victim whose homeward shipment
+  // would touch a dead node (either end). Such entries keep their slot
+  // until the node rejoins; with no membership view installed the filter
+  // always passes, so fault-free routing is unchanged.
+  fusion_table_.set_eviction_filter([this](Key k) {
+    return NodeAlive(ownership_->Owner(k)) && NodeAlive(ownership_->Home(k));
+  });
+}
 
 RoutePlan HermesRouter::RouteBatch(const Batch& batch) {
   RoutePlan plan;
@@ -93,17 +101,20 @@ void HermesRouter::RouteSegmentOptimized(
     const std::vector<const TxnRequest*>& txns, std::vector<RoutedTxn>* out) {
   const int32_t b = static_cast<int32_t>(txns.size());
   if (b == 0) return;
-  const int32_t n = num_active_nodes();
+  // Route over the alive subset of active nodes (== active_nodes_ unless
+  // degraded mode marked a node down); dead nodes never appear as a
+  // candidate destination, so new batches route around the victim.
+  const std::vector<NodeId>& nodes = candidate_nodes();
+  const int32_t n = static_cast<int32_t>(nodes.size());
   assert(n > 0);
   RouterScratch& s = scratch_;
 
-  // Dense index over active nodes (active_nodes_ is sorted ascending);
-  // -1 for nodes outside the active set.
+  // Dense index over candidate nodes (sorted ascending); -1 for nodes
+  // outside the candidate set (inactive or dead).
   auto node_index = [&](NodeId node) -> int32_t {
-    const auto it =
-        std::lower_bound(active_nodes_.begin(), active_nodes_.end(), node);
-    if (it == active_nodes_.end() || *it != node) return -1;
-    return static_cast<int32_t>(it - active_nodes_.begin());
+    const auto it = std::lower_bound(nodes.begin(), nodes.end(), node);
+    if (it == nodes.end() || *it != node) return -1;
+    return static_cast<int32_t>(it - nodes.begin());
   };
 
   // ---- Intern this segment's keys to dense ids. ----
@@ -237,7 +248,7 @@ void HermesRouter::RouteSegmentOptimized(
                 : step;
     s.placed[pick] = 1;
     const int32_t x_idx = s.best_idx[pick];
-    const NodeId x = active_nodes_[x_idx];
+    const NodeId x = nodes[x_idx];
     s.route[pick] = x;
     s.route_idx[pick] = x_idx;
     s.order.push_back(pick);
@@ -347,7 +358,7 @@ void HermesRouter::RouteSegmentOptimized(
         if (best_u >= 0 && best_cost <= delta) {
           --s.load[from_idx];
           ++s.load[best_u];
-          s.route[j] = active_nodes_[best_u];
+          s.route[j] = nodes[best_u];
           s.route_idx[j] = best_u;
           ++stats_.reroutes;
         }
@@ -374,12 +385,15 @@ void HermesRouter::RouteSegmentReference(
     const std::vector<const TxnRequest*>& txns, std::vector<RoutedTxn>* out) {
   const size_t b = txns.size();
   if (b == 0) return;
-  const int n = num_active_nodes();
+  // Same alive-filtered candidate set as the optimized path (the two
+  // must stay bit-for-bit identical).
+  const std::vector<NodeId>& nodes = candidate_nodes();
+  const int n = static_cast<int>(nodes.size());
   assert(n > 0);
 
-  // Dense index over active nodes (active_nodes_ is sorted ascending).
+  // Dense index over candidate nodes (sorted ascending).
   HashMap<NodeId, int> node_index;
-  for (int i = 0; i < n; ++i) node_index[active_nodes_[i]] = i;
+  for (int i = 0; i < n; ++i) node_index[nodes[i]] = i;
 
   // ---- Step 1: order and route requests by minimizing remote reads. ----
   struct Cand {
@@ -464,7 +478,7 @@ void HermesRouter::RouteSegmentReference(
     }
     Cand& c = cands[pick];
     c.placed = true;
-    const NodeId x = active_nodes_[c.best_idx];
+    const NodeId x = nodes[c.best_idx];
     route[pick] = x;
     order.push_back(pick);
 
@@ -574,7 +588,7 @@ void HermesRouter::RouteSegmentReference(
         int best_u = -1;
         for (int u = 0; u < n; ++u) {
           if (!underloaded(u)) continue;
-          const int cost = added_edges(p, active_nodes_[u]);
+          const int cost = added_edges(p, nodes[u]);
           if (best_u < 0 || cost < best_cost) {
             best_u = u;
             best_cost = cost;
@@ -583,7 +597,7 @@ void HermesRouter::RouteSegmentReference(
         if (best_u >= 0 && best_cost <= delta) {
           --load[from_idx];
           ++load[best_u];
-          route[j] = active_nodes_[best_u];
+          route[j] = nodes[best_u];
           ++stats_.reroutes;
         }
       }

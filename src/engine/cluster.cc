@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/rng.h"
@@ -63,6 +65,23 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
     static_cast<core::HermesRouter*>(router_.get())
         ->mutable_fusion_table()
         .set_digest(&digest_);
+  }
+  // Degraded-mode wiring. Inert while every node is alive: the candidate
+  // set degenerates to active_nodes_, the batch filter takes its fast
+  // path, and no executor gate fires — fault-free digests are unchanged.
+  router_->set_membership(&membership_);
+  scheduler_.set_batch_filter(
+      [this](BatchId id, std::vector<TxnRequest>* txns) {
+        ClassifyBatch(id, txns);
+      });
+  executor_.EnableDegraded(
+      &membership_, &config_.degraded, &degraded_ledger_,
+      [this](TxnRequest txn, TxnExecutor::CommitCallback cb,
+             std::vector<Key> stranded) {
+        OnWatchdogAbort(std::move(txn), std::move(cb), std::move(stranded));
+      });
+  if (const char* env = std::getenv("HERMES_TRACE_KEY")) {
+    trace_key_ = std::strtoull(env, nullptr, 10);
   }
 }
 
@@ -141,6 +160,9 @@ void Cluster::SubmitWithReconnaissance(
 }
 
 void Cluster::OnBatchSequenced(Batch&& batch) {
+  // Membership transitions anchor to the next batch id so the replay
+  // cursor applies them at the same point in the total order.
+  next_expected_batch_ = batch.id + 1;
   if (batch_tap_) batch_tap_(batch);
   if (clay_) {
     for (const TxnRequest& txn : batch.txns) {
@@ -333,6 +355,9 @@ void Cluster::RestoreFromCheckpoint(const storage::Checkpoint& checkpoint) {
 void Cluster::ReplayBatches(const std::vector<Batch>& batches) {
   replaying_ = true;
   for (const Batch& batch : batches) {
+    // Degraded schedule: membership transitions and stranded sets recorded
+    // against this point in the total order apply before the batch routes.
+    ApplyScheduledEventsBefore(batch.id);
     // Physical nodes referenced by provisioning markers must exist before
     // the marker is routed.
     for (const TxnRequest& txn : batch.txns) {
@@ -350,6 +375,10 @@ void Cluster::ReplayBatches(const std::vector<Batch>& batches) {
     scheduler_.OnBatch(std::move(copy));
     sim_.RunAll();
   }
+  // Trailing events (e.g. the final rejoin, which releases the parked
+  // queue) land after the last logged batch.
+  ApplyScheduledEventsBefore(~BatchId{0});
+  sim_.RunAll();
   replaying_ = false;
 }
 
@@ -382,6 +411,274 @@ const core::FusionTable* Cluster::fusion_table() const {
   if (kind_ != RouterKind::kHermes) return nullptr;
   return &static_cast<const core::HermesRouter*>(router_.get())
               ->fusion_table();
+}
+
+// --- Degraded mode (no-stall crash handling). ---
+
+void Cluster::CrashNoStall(NodeId node) {
+  assert(membership_.alive(node) && "node is already down");
+  assert(!replaying_ && "replay applies the recorded schedule instead");
+  membership_.MarkDown(node);
+  degraded_schedule_.events.push_back(MembershipEvent{
+      next_expected_batch_, node, /*alive=*/false, membership_.epoch()});
+  executor_.OnNodeDown(node);
+}
+
+void Cluster::RejoinNoStall(NodeId node) {
+  assert(!membership_.alive(node) && "node is not down");
+  assert(!replaying_ && "replay applies the recorded schedule instead");
+  membership_.MarkUp(node);
+  degraded_schedule_.events.push_back(MembershipEvent{
+      next_expected_batch_, node, /*alive=*/true, membership_.epoch()});
+  // Order matters: suppressed shipments flush first (their records land
+  // where ownership points), then divergent records reship, and only then
+  // does the parked queue route — so a released chunk migration finds
+  // every record where the ownership map says it is (or inbound, which a
+  // presence wait covers).
+  executor_.OnNodeUp(node);
+  ReconcileDisplaced();
+  stranded_.clear();
+  ReleaseParked();
+}
+
+void Cluster::SetReplayMembershipSchedule(const DegradedSchedule& schedule) {
+  assert(degraded_schedule_.empty() && "schedule already installed");
+  degraded_schedule_ = schedule;
+  for (const AbortRecord& r : schedule.aborts) {
+    replay_abort_ids_.insert(r.txn);
+  }
+}
+
+bool Cluster::KeyBlocked(Key key) const {
+  return !membership_.alive(ownership_.Owner(key)) ||
+         (!stranded_.empty() && stranded_.contains(key));
+}
+
+bool Cluster::TxnBlocked(const TxnRequest& txn) const {
+  switch (txn.kind) {
+    case TxnKind::kRegular:
+      for (Key k : txn.read_set) {
+        if (KeyBlocked(k)) return true;
+      }
+      for (Key k : txn.write_set) {
+        if (KeyBlocked(k)) return true;
+      }
+      return false;
+    case TxnKind::kChunkMigration:
+      if (!membership_.alive(txn.migration_target)) return true;
+      for (Key k : txn.write_set) {
+        if (KeyBlocked(k)) return true;
+      }
+      return false;
+    case TxnKind::kRemoveNode:
+      // Decommissioning during an outage would re-home ranges with a
+      // stale view; park it until the membership is whole again.
+      return membership_.any_down();
+    case TxnKind::kAddNode:
+      return false;
+  }
+  return false;
+}
+
+void Cluster::ClassifyBatch(BatchId id, std::vector<TxnRequest>* txns) {
+  const bool flip_aborts = !replay_abort_ids_.empty();
+  if (!flip_aborts && !membership_.any_down() && stranded_.empty()) return;
+
+  std::vector<TxnRequest> keep;
+  keep.reserve(txns->size());
+  for (TxnRequest& txn : *txns) {
+    // Replay of a recorded watchdog abort: the transaction was dispatched
+    // live (its batch preceded the crash), so here — where the membership
+    // event has not applied yet — it routes identically and executes as a
+    // §4.2 user abort: writes roll back, planned migrations still happen.
+    // MixPlacement does not digest user_abort, so placements align.
+    if (flip_aborts && replay_abort_ids_.contains(txn.id)) {
+      txn.user_abort = true;
+    }
+    if (!TxnBlocked(txn)) {
+      keep.push_back(std::move(txn));
+      continue;
+    }
+    const uint32_t epoch = membership_.epoch();
+    if (trace_key_ != kInvalidTxn) {
+      for (Key k : txn.write_set) {
+        if (k != trace_key_) continue;
+        std::fprintf(stderr,
+                     "[%llu] txn %llu blocked in batch %llu (key=%llu "
+                     "epoch=%u kind=%d)\n",
+                     static_cast<unsigned long long>(sim_.Now()),
+                     static_cast<unsigned long long>(txn.id),
+                     static_cast<unsigned long long>(id),
+                     static_cast<unsigned long long>(k), epoch,
+                     static_cast<int>(txn.kind));
+      }
+    }
+    if (txn.kind == TxnKind::kRegular) {
+      if (replaying_) continue;  // its retry appears later in the log
+      TxnExecutor::CommitCallback cb = ResolveCallback(txn);
+      ScheduleRetryOrFail(std::move(txn), std::move(cb), epoch);
+    } else {
+      // Chunk migrations and provisioning markers park: they are not
+      // client-visible and must run exactly once, after the outage.
+      degraded_ledger_.RecordPark(txn.id, epoch);
+      parked_.push_back(ParkedTxn{std::move(txn), epoch});
+    }
+  }
+  *txns = std::move(keep);
+}
+
+SimTime Cluster::RetryDelay(TxnId retry_of, uint32_t attempt) const {
+  const DegradedConfig& d = config_.degraded;
+  const SimTime backoff =
+      std::min(d.retry_backoff_base_us << attempt, d.retry_backoff_cap_us);
+  const SimTime jitter =
+      d.retry_jitter_us == 0
+          ? 0
+          : Mix64(retry_of ^ (0x9e3779b97f4a7c15ULL * (attempt + 1))) %
+                (d.retry_jitter_us + 1);
+  return backoff + jitter;
+}
+
+void Cluster::ScheduleRetryOrFail(TxnRequest txn,
+                                  TxnExecutor::CommitCallback cb,
+                                  uint32_t epoch) {
+  const TxnId blocked_id = txn.id;
+  const TxnId retry_of =
+      txn.retry_of != kInvalidTxn ? txn.retry_of : txn.id;
+  if (txn.attempt >= config_.degraded.max_retries) {
+    // Attempts exhausted: a deterministic UNAVAILABLE abort reaches the
+    // client one network hop from now. The transaction performed no
+    // writes (it never dispatched, or was UNDO-aborted un-acked), so
+    // dropping it loses nothing.
+    degraded_ledger_.RecordRetry(
+        RetryRecord{blocked_id, retry_of, txn.attempt, epoch, 0, true});
+    TxnResult result;
+    result.id = blocked_id;
+    result.aborted = true;
+    sim_.Schedule(config_.costs.net_latency_us,
+                  [cb = std::move(cb), result]() {
+                    if (cb) cb(result);
+                  });
+    return;
+  }
+  const SimTime delay = RetryDelay(retry_of, txn.attempt);
+  degraded_ledger_.RecordRetry(
+      RetryRecord{blocked_id, retry_of, txn.attempt, epoch, delay, false});
+  txn.attempt += 1;
+  txn.retry_of = retry_of;
+  sim_.Schedule(delay, [this, txn = std::move(txn),
+                        cb = std::move(cb)]() mutable {
+    txn.submit_time = sim_.Now();
+    const TxnId new_id = sequencer_.next_txn_id();
+    sequencer_.Submit(std::move(txn));
+    if (cb) pending_callbacks_[new_id] = std::move(cb);
+  });
+}
+
+void Cluster::OnWatchdogAbort(TxnRequest txn, TxnExecutor::CommitCallback cb,
+                              std::vector<Key> stranded) {
+  assert(!replaying_ &&
+         "replay drains each batch fully, so nothing freezes mid-flight");
+  AbortRecord rec;
+  rec.from_batch = next_expected_batch_;
+  rec.txn = txn.id;
+  rec.stranded = stranded;
+  degraded_schedule_.aborts.push_back(std::move(rec));
+  for (Key k : stranded) stranded_.insert(k);
+  const uint32_t epoch = membership_.epoch();
+  if (txn.kind == TxnKind::kRegular) {
+    ScheduleRetryOrFail(std::move(txn), std::move(cb), epoch);
+    return;
+  }
+  // An aborted chunk migration reports failure so the chunk chain keeps
+  // moving; the re-cut happens naturally — the next chunk parks at
+  // classification, and records this chunk left behind are reshipped at
+  // rejoin reconciliation.
+  TxnResult result;
+  result.id = txn.id;
+  result.aborted = true;
+  sim_.Schedule(config_.costs.net_latency_us,
+                [cb = std::move(cb), result]() {
+                  if (cb) cb(result);
+                });
+}
+
+void Cluster::ReconcileDisplaced() {
+  const std::map<Key, NodeId> displaced = executor_.TakeDisplaced();
+  for (const auto& [key, loc] : displaced) {
+    const NodeId owner = ownership_.Owner(key);
+    if (owner == loc) continue;  // ownership drifted back to the record
+    executor_.ReshipRecord(key, loc, owner);
+  }
+}
+
+void Cluster::ReleaseParked() {
+  if (parked_.empty()) return;
+  std::vector<TxnRequest> txns;
+  txns.reserve(parked_.size());
+  for (ParkedTxn& p : parked_) txns.push_back(std::move(p.txn));
+  parked_.clear();
+  scheduler_.RouteParked(next_expected_batch_, std::move(txns));
+}
+
+void Cluster::ApplyScheduledEventsBefore(BatchId id) {
+  const auto& events = degraded_schedule_.events;
+  const auto& aborts = degraded_schedule_.aborts;
+  while (true) {
+    const bool abort_ready =
+        replay_abort_cursor_ < aborts.size() &&
+        aborts[replay_abort_cursor_].from_batch <= id;
+    const bool event_ready =
+        replay_event_cursor_ < events.size() &&
+        events[replay_event_cursor_].from_batch <= id;
+    if (!abort_ready && !event_ready) return;
+    const BatchId ab = abort_ready
+                           ? aborts[replay_abort_cursor_].from_batch
+                           : ~BatchId{0};
+    const BatchId ev = event_ready
+                           ? events[replay_event_cursor_].from_batch
+                           : ~BatchId{0};
+    if (abort_ready && ab <= ev) {
+      // Stranded keys block the same touchers the live run blocked. (The
+      // flipped abort itself already executed — its migrations landed —
+      // but classification must match the live transcript, and the
+      // rejoin event below clears the set just as the live rejoin did.)
+      for (Key k : aborts[replay_abort_cursor_].stranded) {
+        stranded_.insert(k);
+      }
+      ++replay_abort_cursor_;
+      continue;
+    }
+    const MembershipEvent& e = events[replay_event_cursor_];
+    ++replay_event_cursor_;
+    if (!e.alive) {
+      membership_.MarkDown(e.node);
+    } else {
+      membership_.MarkUp(e.node);
+      stranded_.clear();
+      ReleaseParked();
+    }
+  }
+}
+
+std::string Cluster::DegradedDebugString() const {
+  std::string out = membership_.DebugString();
+  out += "\n";
+  out += degraded_ledger_.DebugString();
+  char buf[128];
+  for (const ParkedTxn& p : parked_) {
+    std::snprintf(buf, sizeof(buf),
+                  "parked txn=%llu kind=%d attempt=%u epoch=%u\n",
+                  static_cast<unsigned long long>(p.txn.id),
+                  static_cast<int>(p.txn.kind), p.txn.attempt, p.epoch);
+    out += buf;
+  }
+  for (Key k : stranded_) {
+    std::snprintf(buf, sizeof(buf), "stranded key=%llu\n",
+                  static_cast<unsigned long long>(k));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace hermes::engine

@@ -3,14 +3,17 @@
 
 #include <deque>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "common/digest.h"
 #include "common/hash.h"
+#include "common/membership.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "engine/degraded.h"
 #include "core/fusion_table.h"
 #include "core/hermes_router.h"
 #include "engine/executor.h"
@@ -104,6 +107,50 @@ class Cluster {
   void ResumeIntake() { sequencer_.Resume(); }
   bool intake_paused() const { return sequencer_.paused(); }
 
+  // --- Degraded mode: non-stalling crash handling (DESIGN.md §5). ---
+  //
+  // Under kCrashNoStall the cluster keeps sequencing while a node is
+  // down: new batches route around it (membership-filtered candidate
+  // sets), already-ordered transactions touching it are deterministically
+  // parked (chunk migrations, provisioning markers) or retried with a
+  // deterministic virtual-time backoff (regular transactions, bounded by
+  // DegradedConfig::max_retries, then an UNAVAILABLE abort to the
+  // client), and the executor watchdog UNDO-aborts transactions frozen
+  // mid-flight at the dead node. Every decision is a pure function of
+  // (fault plan, config, total order): the recorded DegradedSchedule
+  // replays the run bit-identically.
+
+  /// Marks `node` dead without pausing intake. The victim's store is
+  /// detached in place: the model says it is lost and later rebuilt
+  /// bit-identically from checkpoint + log (the injector charges that
+  /// virtual time); the simulation reuses the image.
+  void CrashNoStall(NodeId node);
+
+  /// Brings `node` back: flushes suppressed in-flight shipments, reships
+  /// every record whose physical location diverged from the ownership map
+  /// during the outage, clears stranded-key blocks, and re-routes parked
+  /// transactions (in FIFO = total order).
+  void RejoinNoStall(NodeId node);
+
+  /// Installs a recorded degraded schedule before ReplayBatches: the
+  /// replay applies the same membership transitions at the same batch
+  /// boundaries and flips recorded watchdog aborts into §4.2 user aborts,
+  /// reproducing the live run's placements and committed effects.
+  void SetReplayMembershipSchedule(const DegradedSchedule& schedule);
+
+  const MembershipView& membership() const { return membership_; }
+  const DegradedSchedule& degraded_schedule() const {
+    return degraded_schedule_;
+  }
+  const DegradedLedger& degraded_ledger() const { return degraded_ledger_; }
+  size_t parked_count() const { return parked_.size(); }
+
+  /// Diagnostic rendering of the degraded-mode state: membership view,
+  /// retry transcript, parked transactions (FIFO order, with attempt
+  /// counts and parking epoch) and stranded keys — all totally ordered,
+  /// so the output is identical across hash salts.
+  std::string DegradedDebugString() const;
+
   /// Advances simulated time to `deadline`, sampling resource metrics
   /// every metrics window.
   void RunUntil(SimTime deadline);
@@ -195,6 +242,12 @@ class Cluster {
   const DecisionDigest& placement_digest() const { return placement_digest_; }
 
  private:
+  /// One transaction waiting out an outage in the parking queue.
+  struct ParkedTxn {
+    TxnRequest txn;
+    uint32_t epoch = 0;  ///< membership epoch when parked
+  };
+
   void SubmitWithReconnaissance(TxnRequest txn,
                                 TxnExecutor::CommitCallback on_commit);
   void SubmitSequenced(TxnRequest txn,
@@ -205,6 +258,36 @@ class Cluster {
   void SubmitNextChunk();
   void ArmClayTick();
   TxnRequest MakeChunkTxn(Key lo, Key hi, NodeId target) const;
+
+  // --- Degraded mode internals. ---
+  /// Scheduler batch filter: drops/parks/retries transactions that cannot
+  /// run under the current membership. Runs after the command log keeps
+  /// the original batch, so a replay fed the schedule refilters
+  /// identically.
+  void ClassifyBatch(BatchId id, std::vector<TxnRequest>* txns);
+  bool KeyBlocked(Key key) const;
+  bool TxnBlocked(const TxnRequest& txn) const;
+  /// Deterministic retry slot: min(base << attempt, cap) plus a jitter
+  /// drawn as Mix64(retry_of, attempt) — a pure function of (txn id,
+  /// attempt, config), never wall clock or hash order.
+  SimTime RetryDelay(TxnId retry_of, uint32_t attempt) const;
+  /// Re-enqueues a blocked regular transaction after RetryDelay, or fires
+  /// a deterministic UNAVAILABLE abort once attempts are exhausted.
+  void ScheduleRetryOrFail(TxnRequest txn, TxnExecutor::CommitCallback cb,
+                           uint32_t epoch);
+  /// Executor watchdog handler: records the abort for replay, blocks
+  /// stranded keys, and reclassifies the transaction (retry or chunk
+  /// chain continuation).
+  void OnWatchdogAbort(TxnRequest txn, TxnExecutor::CommitCallback cb,
+                       std::vector<Key> stranded);
+  /// Reships every record whose physical node diverged from the
+  /// ownership map during the outage (rejoin reconciliation).
+  void ReconcileDisplaced();
+  /// Routes the parking queue (FIFO); entries re-park if still blocked.
+  void ReleaseParked();
+  /// Replay cursor: applies scheduled membership events and recorded
+  /// stranded sets whose from_batch <= `id`, in recorded order.
+  void ApplyScheduledEventsBefore(BatchId id);
 
   ClusterConfig config_;
   RouterKind kind_;
@@ -241,6 +324,30 @@ class Cluster {
   uint64_t ollp_retries_ = 0;
 
   std::function<void(const Batch&)> batch_tap_;
+
+  // --- Degraded-mode state. All quiescent while every node is alive. ---
+  MembershipView membership_;
+  DegradedLedger degraded_ledger_;
+  /// Live: transitions/aborts recorded as they happen. Replay: the
+  /// installed schedule, applied by cursor at batch boundaries.
+  DegradedSchedule degraded_schedule_;
+  std::vector<ParkedTxn> parked_;  ///< FIFO parking queue
+  /// Keys physically left at a dead node while ownership points at a live
+  /// one; touchers are blocked until rejoin reconciliation. Ordered set:
+  /// diagnostics iterate it.
+  std::set<Key> stranded_;
+  /// Next batch id the scheduler will route; membership transitions and
+  /// abort records anchor to it so the replay cursor applies them at the
+  /// same point in the total order.
+  BatchId next_expected_batch_ = 0;
+  size_t replay_event_cursor_ = 0;
+  size_t replay_abort_cursor_ = 0;
+  /// Transactions the replay must flip to §4.2 user aborts (contains-only
+  /// lookups; never iterated).
+  HashSet<TxnId> replay_abort_ids_;
+  /// HERMES_TRACE_KEY mirror: classification decisions for transactions
+  /// touching this key are traced to stderr.
+  Key trace_key_ = kInvalidTxn;
 };
 
 }  // namespace hermes::engine

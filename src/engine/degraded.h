@@ -1,0 +1,77 @@
+#ifndef HERMES_ENGINE_DEGRADED_H_
+#define HERMES_ENGINE_DEGRADED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace hermes::engine {
+
+/// One entry of the degraded-mode retry transcript: a transaction was
+/// classified as blocked by a dead node and either re-enqueued after a
+/// deterministic backoff or (attempts exhausted) returned to the client
+/// as a deterministic UNAVAILABLE abort. The transcript is recorded in
+/// classification order — a total order — so it must be bit-identical
+/// across hash salts for the same (workload seed, fault plan).
+struct RetryRecord {
+  TxnId blocked_id = kInvalidTxn;  ///< id of the blocked submission
+  TxnId retry_of = kInvalidTxn;    ///< id of the original submission
+  uint32_t attempt = 0;            ///< attempt number that got blocked
+  uint32_t epoch = 0;              ///< membership epoch at classification
+  SimTime delay_us = 0;            ///< backoff applied (0 when exhausted)
+  bool exhausted = false;          ///< true = UNAVAILABLE abort to client
+};
+
+/// Live-side bookkeeping of every degraded-mode decision: the retry
+/// transcript plus counters surfaced by Cluster/Executor DebugStrings
+/// and the chaos tests. Purely observational — nothing here feeds back
+/// into a decision.
+class DegradedLedger {
+ public:
+  void RecordRetry(const RetryRecord& r) {
+    transcript_.push_back(r);
+    if (r.exhausted) {
+      ++unavailable_aborts_;
+    } else {
+      ++retries_scheduled_;
+    }
+  }
+  void RecordPark(TxnId txn, uint32_t epoch) {
+    (void)txn;
+    (void)epoch;
+    ++parked_total_;
+  }
+  void RecordWatchdogAbort() { ++watchdog_aborts_; }
+  void RecordReclaim() { ++reclaims_; }
+  void RecordReship() { ++reships_; }
+
+  const std::vector<RetryRecord>& transcript() const { return transcript_; }
+  uint64_t parked_total() const { return parked_total_; }
+  uint64_t retries_scheduled() const { return retries_scheduled_; }
+  uint64_t unavailable_aborts() const { return unavailable_aborts_; }
+  uint64_t watchdog_aborts() const { return watchdog_aborts_; }
+  uint64_t reclaims() const { return reclaims_; }
+  uint64_t reships() const { return reships_; }
+
+  /// FNV-1a fold of the transcript in recorded order; chaos tests assert
+  /// it is bit-identical across salts.
+  uint64_t RetryDigest() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<RetryRecord> transcript_;
+  uint64_t parked_total_ = 0;
+  uint64_t retries_scheduled_ = 0;
+  uint64_t unavailable_aborts_ = 0;
+  uint64_t watchdog_aborts_ = 0;
+  uint64_t reclaims_ = 0;
+  uint64_t reships_ = 0;
+};
+
+}  // namespace hermes::engine
+
+#endif  // HERMES_ENGINE_DEGRADED_H_

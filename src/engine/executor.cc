@@ -184,6 +184,13 @@ bool TxnExecutor::NodeWillSend(const Active& a, const NodeState& state,
 void TxnExecutor::OnNodeGranted(Active& a, NodeId node) {
   NodeState* state = StateFor(a, node);
   assert(state != nullptr && !state->granted);
+  if (NodeDead(node)) {
+    // Grant reached a dead node (its previous lock holder committed or
+    // was aborted): the transaction cannot make progress here. Leave it
+    // ungranted and frozen; the watchdog reclassifies it.
+    Freeze(a);
+    return;
+  }
   state->granted = true;
   state->grant_time = sim_->Now();
 
@@ -223,6 +230,10 @@ void TxnExecutor::OnNodeGranted(Active& a, NodeId node) {
 }
 
 void TxnExecutor::StartParticipant(Active& a, NodeId node) {
+  if (NodeDead(node)) {  // died between grant and record presence
+    Freeze(a);
+    return;
+  }
   // Local storage reads for everything this node ships, on a worker.
   NodeState* state = StateFor(a, node);
   size_t ops = 0;
@@ -243,6 +254,10 @@ void TxnExecutor::StartParticipant(Active& a, NodeId node) {
 }
 
 void TxnExecutor::FinishParticipant(Active& a, NodeId node) {
+  if (NodeDead(node)) {  // died while the send phase ran on a worker
+    Freeze(a);
+    return;
+  }
   NodeState* state = StateFor(a, node);
   Node& src = NodeAt(node);
 
@@ -288,7 +303,7 @@ void TxnExecutor::FinishParticipant(Active& a, NodeId node) {
     Shipment& s = shipments[acc.new_owner];
     s.moves.emplace_back(acc.key, *rec);
     s.bytes += costs_->record_bytes;
-    TrackInFlight(acc.key, node, acc.new_owner, a.plan.txn.id);
+    TrackInFlight(acc.key, node, acc.new_owner, a.plan.txn.id, *rec);
     if (acc.ship_to_master && IsMaster(a, acc.new_owner)) s.to_master = true;
   }
 
@@ -329,6 +344,13 @@ void TxnExecutor::FinishParticipant(Active& a, NodeId node) {
 }
 
 void TxnExecutor::CheckMasterReady(Active& a, MasterState& m) {
+  if (NodeDead(m.node)) {
+    // The master died before starting. (A master that already started
+    // races the crash: its worker completion still commits — the rebuilt
+    // store replays that commit, so the detached-in-place image matches.)
+    Freeze(a);
+    return;
+  }
   NodeState* state = StateFor(a, m.node);
   if (m.started || !state->granted || !m.local_present ||
       m.pending_messages > 0) {
@@ -419,6 +441,7 @@ void TxnExecutor::CommitMaster(Active& a, MasterState& m) {
 
 void TxnExecutor::MaybeComplete(Active& a) {
   if (a.acked && a.participants_pending == 0) {
+    frozen_ids_.erase(a.plan.txn.id);
     actives_.erase(a.plan.txn.id);  // destroys `a`
   }
 }
@@ -433,14 +456,16 @@ void TxnExecutor::Acknowledge(Active& a) {
   for (const routing::ReturnShipment& r : a.plan.on_commit_returns) {
     auto rec = NodeAt(r.from).store().Extract(r.key);
     assert(rec.has_value() && "returning a record that is not present");
-    TrackInFlight(r.key, r.from, r.to, a.plan.txn.id);
+    TrackInFlight(r.key, r.from, r.to, a.plan.txn.id, *rec);
     ++returns;
     send_work[r.from] += costs_->storage_op_us;
     net_->Send(r.from, r.to, costs_->record_bytes,
                [this, r, record = *rec]() {
-                 NodeAt(r.to).workers().Submit(
-                     costs_->storage_op_us + costs_->msg_processing_us,
-                     [] {});
+                 if (!NodeDead(r.to)) {
+                   NodeAt(r.to).workers().Submit(
+                       costs_->storage_op_us + costs_->msg_processing_us,
+                       [] {});
+                 }
                  DeliverRecord(r.to, r.key, record);
                });
   }
@@ -512,9 +537,12 @@ std::string TxnExecutor::DebugString() const {
   std::sort(ids.begin(), ids.end());
   for (TxnId id : ids) {
     const auto& a = actives_.at(id);
-    std::snprintf(buf, sizeof(buf), "txn %llu kind=%d:\n",
+    std::snprintf(buf, sizeof(buf),
+                  "txn %llu kind=%d attempt=%u%s%s:\n",
                   static_cast<unsigned long long>(id),
-                  static_cast<int>(a->plan.txn.kind));
+                  static_cast<int>(a->plan.txn.kind), a->plan.txn.attempt,
+                  a->plan.txn.retry_of != kInvalidTxn ? " retry" : "",
+                  a->frozen ? " FROZEN" : "");
     out += buf;
     for (const auto& [node, st] : a->nodes) {
       std::snprintf(buf, sizeof(buf),
@@ -559,9 +587,16 @@ std::string TxnExecutor::DebugString() const {
   }
   for (const auto& [key, r] : inflight_records_) {
     std::snprintf(buf, sizeof(buf),
-                  "in flight: key=%llu node %d -> node %d (txn %llu)\n",
+                  "in flight: key=%llu node %d -> node %d (txn %llu)%s\n",
                   static_cast<unsigned long long>(key), r.from, r.to,
-                  static_cast<unsigned long long>(r.txn));
+                  static_cast<unsigned long long>(r.txn),
+                  r.suppressed ? " SUPPRESSED" : "");
+    out += buf;
+  }
+  for (const auto& [key, node] : displaced_) {
+    std::snprintf(buf, sizeof(buf),
+                  "displaced: key=%llu physically at node %d\n",
+                  static_cast<unsigned long long>(key), node);
     out += buf;
   }
   return out;
@@ -587,14 +622,56 @@ void TxnExecutor::WaitPresence(NodeId node, std::vector<Key> keys,
   }
 }
 
-void TxnExecutor::TrackInFlight(Key key, NodeId from, NodeId to, TxnId txn) {
+void TxnExecutor::TrackInFlight(Key key, NodeId from, NodeId to, TxnId txn,
+                                const storage::Record& record) {
   assert(!inflight_records_.contains(key) &&
          "record extracted twice without an intervening delivery");
-  inflight_records_[key] = InFlightRecord{from, to, txn};
+  inflight_records_[key] = InFlightRecord{from, to, txn, record};
 }
 
 void TxnExecutor::DeliverRecord(NodeId node, Key key,
                                 const storage::Record& record) {
+  if (NodeDead(node)) {
+    // The destination died while the record was on the wire. Suppress the
+    // delivery (the record stays in inflight_records_, so singularity
+    // holds) and arm a deterministic reclaim: after reclaim_timeout_us
+    // the sender re-inserts the record and notes the divergence from the
+    // ownership map; if the node rejoins first, OnNodeUp flushes it.
+    auto it = inflight_records_.find(key);
+    if (it == inflight_records_.end()) return;
+    InFlightRecord& entry = it->second;
+    if (entry.suppressed) return;
+    entry.suppressed = true;
+    if (trace_key_ == key) {
+      std::fprintf(stderr,
+                   "[%llu] suppress deliver key=%llu at dead node %d\n",
+                   static_cast<unsigned long long>(sim_->Now()),
+                   static_cast<unsigned long long>(key), node);
+    }
+    // Freeze the carrying transaction: its shipment will never complete.
+    const TxnId carrier = entry.txn;
+    auto at = actives_.find(carrier);
+    if (at != actives_.end()) Freeze(*at->second);
+    const SimTime timeout =
+        degraded_ != nullptr ? degraded_->reclaim_timeout_us : 2000;
+    sim_->Schedule(timeout, [this, key, carrier]() {
+      auto rit = inflight_records_.find(key);
+      if (rit == inflight_records_.end()) return;  // flushed at rejoin
+      const InFlightRecord e = rit->second;
+      if (!e.suppressed || e.txn != carrier) return;  // re-extracted since
+      if (!NodeDead(e.to)) return;  // rejoined; OnNodeUp owns the flush
+      inflight_records_.erase(rit);
+      displaced_[key] = e.from;
+      if (ledger_ != nullptr) ledger_->RecordReclaim();
+      if (trace_key_ == key) {
+        std::fprintf(stderr, "[%llu] reclaim key=%llu back to node %d\n",
+                     static_cast<unsigned long long>(sim_->Now()),
+                     static_cast<unsigned long long>(key), e.from);
+      }
+      DeliverRecord(e.from, key, e.record);
+    });
+    return;
+  }
   if (trace_key_ == key) {
     std::fprintf(stderr, "[%llu] deliver key=%llu at node %d\n",
                  static_cast<unsigned long long>(sim_->Now()),
@@ -607,6 +684,156 @@ void TxnExecutor::DeliverRecord(NodeId node, Key key,
   std::vector<std::function<void()>> waiters = std::move(it->second);
   presence_waiters_.erase(it);
   for (auto& w : waiters) w();
+}
+
+void TxnExecutor::EnableDegraded(const MembershipView* membership,
+                                 const DegradedConfig* config,
+                                 DegradedLedger* ledger,
+                                 DegradedAbortHandler on_abort) {
+  membership_ = membership;
+  degraded_ = config;
+  ledger_ = ledger;
+  degraded_abort_ = std::move(on_abort);
+}
+
+void TxnExecutor::OnNodeDown(NodeId node) {
+  assert(membership_ != nullptr && !membership_->alive(node) &&
+         "cluster must MarkDown before notifying the executor");
+  (void)node;
+  // Transactions freeze lazily as their events hit the dead node; the
+  // sweep below reclassifies them. One chain per outage window.
+  if (watchdog_armed_) return;
+  watchdog_armed_ = true;
+  const SimTime deadline =
+      degraded_ != nullptr ? degraded_->watchdog_deadline_us : 5000;
+  sim_->Schedule(deadline, [this]() { WatchdogSweep(); });
+}
+
+void TxnExecutor::OnNodeUp(NodeId node) {
+  // Flush records that were suppressed mid-flight toward the node: the
+  // rebuilt (detached-in-place) store plus these deliveries equals the
+  // state a fault-free replay produces. Reclaim timers still pending
+  // find their entry gone and no-op. std::map keeps the order total.
+  std::vector<Key> flush;
+  for (const auto& [key, e] : inflight_records_) {
+    if (e.suppressed && e.to == node) flush.push_back(key);
+  }
+  for (Key k : flush) {
+    auto it = inflight_records_.find(k);
+    assert(it != inflight_records_.end());
+    const InFlightRecord e = it->second;
+    inflight_records_.erase(it);
+    DeliverRecord(e.to, k, e.record);
+  }
+}
+
+void TxnExecutor::WatchdogSweep() {
+  // frozen_ids_ is a sorted index maintained by Freeze(): iterating it
+  // instead of the salted actives_ map keeps the abort order total.
+  const std::vector<TxnId> doomed(frozen_ids_.begin(), frozen_ids_.end());
+  for (TxnId id : doomed) {
+    auto it = actives_.find(id);
+    if (it == actives_.end()) continue;
+    if (it->second->acked) continue;
+    AbortActive(*it->second);
+  }
+  if (membership_ != nullptr && membership_->any_down()) {
+    const SimTime period =
+        degraded_ != nullptr ? degraded_->watchdog_period_us : 5000;
+    sim_->Schedule(period, [this]() { WatchdogSweep(); });
+  } else {
+    // One final sweep always runs after rejoin (this one), catching
+    // transactions frozen between the last in-outage sweep and MarkUp.
+    watchdog_armed_ = false;
+  }
+}
+
+void TxnExecutor::AbortActive(Active& a) {
+  const TxnId id = a.plan.txn.id;
+  assert(!a.acked && "watchdog must not abort an acknowledged transaction");
+  // No-stall degraded mode is scoped to single-master plans without
+  // return shipments (the Hermes router); multi-master baselines use the
+  // stalling crash model instead.
+  assert(a.plan.on_commit_returns.empty() &&
+         "watchdog abort with return shipments is out of scope");
+  if (trace_key_ != kInvalidTxn) {
+    for (const auto& acc : a.plan.accesses) {
+      if (acc.key != trace_key_) continue;
+      std::fprintf(stderr, "[%llu] txn %llu watchdog abort (key=%llu)\n",
+                   static_cast<unsigned long long>(sim_->Now()),
+                   static_cast<unsigned long long>(id),
+                   static_cast<unsigned long long>(acc.key));
+    }
+  }
+  // Classify every planned migration that did not complete. The router
+  // updated the ownership map at routing time, so a record that never
+  // moved now sits where ownership no longer points.
+  std::vector<Key> stranded;
+  for (const Access& acc : a.plan.accesses) {
+    if (acc.new_owner == kInvalidNode || acc.new_owner == acc.owner) continue;
+    const Key k = acc.key;
+    if (inflight_records_.contains(k)) continue;  // delivery/reclaim owns it
+    if (NodeAt(acc.new_owner).store().Contains(k)) continue;  // landed
+    if (!NodeAt(acc.owner).store().Contains(k)) continue;     // moved since
+    const bool src_alive = !NodeDead(acc.owner);
+    const bool dst_alive = !NodeDead(acc.new_owner);
+    if (src_alive && dst_alive) {
+      // Both ends alive (the transaction froze elsewhere): the move MUST
+      // happen now — later transactions are already routed to new_owner.
+      ReshipRecord(k, acc.owner, acc.new_owner);
+    } else if (!src_alive) {
+      // Record locked inside the dead store: stranded. Touchers are
+      // blocked by the cluster until rejoin reconciliation reships it.
+      stranded.push_back(k);
+      displaced_[k] = acc.owner;
+    } else {
+      // Destination dead, source alive: ownership points at the dead
+      // node, so touchers are blocked anyway; note the divergence for
+      // rejoin reconciliation.
+      displaced_[k] = acc.owner;
+    }
+  }
+  stranded = SortedUnique(std::move(stranded));
+  // Release locks (granted or queued) at every involved node; grants are
+  // processed only after the transaction is gone.
+  std::vector<std::pair<NodeId, std::vector<TxnId>>> grants;
+  for (auto& [node, state] : a.nodes) {
+    (void)state;
+    std::vector<TxnId> g;
+    NodeAt(node).locks().Release(id, &g);
+    if (!g.empty()) grants.emplace_back(node, std::move(g));
+  }
+  ++aborted_;
+  if (ledger_ != nullptr) ledger_->RecordWatchdogAbort();
+  TxnRequest txn = a.plan.txn;
+  CommitCallback cb = std::move(a.on_commit);
+  frozen_ids_.erase(id);
+  actives_.erase(id);  // destroys `a`
+  for (auto& [node, g] : grants) ProcessGrants(node, g);
+  if (degraded_abort_) {
+    degraded_abort_(std::move(txn), std::move(cb), std::move(stranded));
+  }
+}
+
+void TxnExecutor::ReshipRecord(Key key, NodeId from, NodeId to) {
+  auto rec = NodeAt(from).store().Extract(key);
+  assert(rec.has_value() && "reshipping a record that is not present");
+  if (trace_key_ == key) {
+    std::fprintf(stderr, "[%llu] reship key=%llu node %d -> %d\n",
+                 static_cast<unsigned long long>(sim_->Now()),
+                 static_cast<unsigned long long>(key), from, to);
+  }
+  TrackInFlight(key, from, to, kInvalidTxn, *rec);
+  if (ledger_ != nullptr) ledger_->RecordReship();
+  NodeAt(from).workers().Submit(costs_->storage_op_us, [] {});
+  net_->Send(from, to, costs_->record_bytes,
+             [this, key, to, record = *rec]() {
+               if (!NodeDead(to)) {
+                 NodeAt(to).workers().Submit(
+                     costs_->storage_op_us + costs_->msg_processing_us, [] {});
+               }
+               DeliverRecord(to, key, record);
+             });
 }
 
 }  // namespace hermes::engine

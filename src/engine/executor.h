@@ -4,13 +4,16 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/config.h"
 #include "common/hash.h"
+#include "common/membership.h"
 #include "common/types.h"
+#include "engine/degraded.h"
 #include "engine/metrics.h"
 #include "engine/node.h"
 #include "routing/router.h"
@@ -67,6 +70,50 @@ class TxnExecutor {
   /// Dispatches one routed transaction. Must be called in total order.
   void Dispatch(const routing::RoutedTxn& plan, CommitCallback on_commit);
 
+  // --- Degraded mode (no-stall crash handling; see DESIGN.md §5). ---
+
+  /// Receives every watchdog-aborted transaction: the original request,
+  /// its client callback, and the keys left physically at a dead node
+  /// while the ownership map points elsewhere. The cluster reclassifies
+  /// it (deterministic retry, UNAVAILABLE abort, or chunk-chain
+  /// continuation).
+  using DegradedAbortHandler = std::function<void(
+      TxnRequest txn, CommitCallback cb, std::vector<Key> stranded)>;
+
+  /// Installs the degraded-mode wiring. `membership` drives the
+  /// dead-node gates (null = every node alive, all gates inert);
+  /// `ledger` records watchdog/reclaim/reship bookkeeping.
+  void EnableDegraded(const MembershipView* membership,
+                      const DegradedConfig* config, DegradedLedger* ledger,
+                      DegradedAbortHandler on_abort);
+
+  /// Arms the watchdog after the cluster marks `node` down. Transactions
+  /// freeze lazily as their events reach the dead node; the watchdog
+  /// sweeps frozen, un-acknowledged transactions on a deterministic
+  /// virtual-time schedule and UNDO-aborts them.
+  void OnNodeDown(NodeId node);
+
+  /// Flushes records that were suppressed mid-flight toward `node` while
+  /// it was down (their delivery resumes now; pending reclaim timers
+  /// no-op). Called by the cluster at rejoin, before reconciliation.
+  void OnNodeUp(NodeId node);
+
+  /// Moves a record whose physical location diverged from the ownership
+  /// map (stranded by a watchdog abort or reclaimed mid-flight) to where
+  /// ownership says it lives: extract at `from`, one network hop, insert
+  /// at `to`, waking presence waiters. Record singularity holds
+  /// throughout (the record rides inflight_records_ while moving).
+  void ReshipRecord(Key key, NodeId from, NodeId to);
+
+  /// Keys whose physical location diverged from the ownership map during
+  /// an outage, keyed by record key, valued with the node the record
+  /// actually sits on. The cluster drains this at rejoin and reships
+  /// every divergent key; returns the map and clears the member.
+  std::map<Key, NodeId> TakeDisplaced() {
+    return std::exchange(displaced_, {});
+  }
+  const std::map<Key, NodeId>& displaced() const { return displaced_; }
+
   /// Number of transactions currently in flight.
   size_t inflight() const { return actives_.size(); }
 
@@ -78,8 +125,15 @@ class TxnExecutor {
   struct InFlightRecord {
     NodeId from = kInvalidNode;
     NodeId to = kInvalidNode;
-    /// Transaction whose shipment (migration or return) carries the record.
+    /// Transaction whose shipment (migration or return) carries the record
+    /// (kInvalidTxn for degraded-mode reships).
     TxnId txn = kInvalidTxn;
+    /// Payload, kept so a shipment suppressed at a dead destination can be
+    /// reclaimed by the sender or flushed at rejoin.
+    storage::Record record;
+    /// True once delivery was suppressed because the destination died
+    /// mid-flight; a reclaim timer (or the rejoin flush) resolves it.
+    bool suppressed = false;
   };
 
   /// Records extracted-but-undelivered right now, keyed by record key.
@@ -129,6 +183,10 @@ class TxnExecutor {
     int participants_pending = 0;
     bool acked = false;
     bool distributed = false;
+    /// Set when a dead-node gate suppressed this transaction's progress:
+    /// it can no longer complete on its own and the watchdog will
+    /// UNDO-abort it at the next sweep.
+    bool frozen = false;
     SimTime remote_wait_us = 0;
     SimTime exec_us = 0;
   };
@@ -155,9 +213,28 @@ class TxnExecutor {
   /// done.
   void MaybeComplete(Active& a);
 
+  /// True when degraded mode is active and `node` is currently down.
+  bool NodeDead(NodeId node) const {
+    return membership_ != nullptr && !membership_->alive(node);
+  }
+  /// Marks `a` stuck at a dead node and indexes it for the watchdog.
+  void Freeze(Active& a) {
+    a.frozen = true;
+    frozen_ids_.insert(a.plan.txn.id);
+  }
+  /// Deterministic periodic sweep: aborts every frozen, un-acknowledged
+  /// transaction (sorted by id), re-arming while any node is down.
+  void WatchdogSweep();
+  /// UNDO-aborts one frozen transaction: classifies its unfinished
+  /// migrations (reship / strand / displace), releases its locks
+  /// everywhere, and hands (request, callback, stranded keys) to the
+  /// cluster's abort handler.
+  void AbortActive(Active& a);
+
   /// Registers a record as extracted at `from` and riding a message to
   /// `to` (cleared again by DeliverRecord).
-  void TrackInFlight(Key key, NodeId from, NodeId to, TxnId txn);
+  void TrackInFlight(Key key, NodeId from, NodeId to, TxnId txn,
+                     const storage::Record& record);
 
   /// Runs `ready` once every key in `keys` is physically present in
   /// `node`'s store (immediately if they already are).
@@ -194,6 +271,23 @@ class TxnExecutor {
 
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;
+
+  // --- Degraded-mode state (all null/empty unless EnableDegraded ran). ---
+  const MembershipView* membership_ = nullptr;
+  const DegradedConfig* degraded_ = nullptr;
+  DegradedLedger* ledger_ = nullptr;
+  DegradedAbortHandler degraded_abort_;
+  /// A single watchdog chain is armed while any node is down (plus one
+  /// final sweep after rejoin to clear stragglers frozen just before it).
+  bool watchdog_armed_ = false;
+  /// Ids of frozen transactions, maintained by Freeze()/erasure. The
+  /// watchdog iterates this sorted index instead of the salted actives_
+  /// map, so the abort order is total by construction.
+  std::set<TxnId> frozen_ids_;
+  /// Keys whose physical node diverged from the ownership map during an
+  /// outage (reclaimed or stranded records). std::map: the rejoin
+  /// reconciliation iterates it in key order.
+  std::map<Key, NodeId> displaced_;
   /// Set via the HERMES_TRACE_KEY environment variable: every plan access,
   /// extraction and delivery touching this key is logged to stderr.
   Key trace_key_ = kInvalidTxn;

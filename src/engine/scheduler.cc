@@ -47,8 +47,28 @@ void MixPlacement(DecisionDigest& digest, const routing::RoutedTxn& rt) {
 
 void Scheduler::OnBatch(Batch&& batch) {
   if (batch.txns.empty()) return;
-  if (config_->enable_command_log) command_log_->Append(batch);
-  ++batches_routed_;
+  Process(std::move(batch), /*log=*/true);
+}
+
+void Scheduler::RouteParked(BatchId release_id,
+                            std::vector<TxnRequest>&& txns) {
+  if (txns.empty()) return;
+  Batch batch;
+  batch.id = release_id;
+  batch.sequenced_at = sim_->Now();
+  batch.txns = std::move(txns);
+  Process(std::move(batch), /*log=*/false);
+}
+
+void Scheduler::Process(Batch&& batch, bool log) {
+  if (log && config_->enable_command_log) command_log_->Append(batch);
+  if (log) ++batches_routed_;
+
+  // Classification happens after logging: the log keeps the original
+  // batch, the filter is a deterministic function of (batch contents,
+  // membership schedule), so replay refilters identically.
+  if (filter_) filter_(batch.id, &batch.txns);
+  if (batch.txns.empty()) return;
 
   // The routing algorithm runs now (its decisions are a pure function of
   // the router state at this point in the total order); its CPU cost plus
@@ -63,7 +83,7 @@ void Scheduler::OnBatch(Batch&& batch) {
     }
   }
   const SimTime log_cost =
-      config_->enable_command_log
+      log && config_->enable_command_log
           ? config_->costs.log_entry_us * batch.txns.size()
           : 0;
   const SimTime start = std::max(sim_->Now(), busy_until_);

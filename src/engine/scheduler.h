@@ -30,6 +30,12 @@ class Scheduler {
   /// Invoked for every transaction as it is dispatched (Clay's workload
   /// monitor taps in here).
   using DispatchObserver = std::function<void(const routing::RoutedTxn&)>;
+  /// Degraded-mode classification hook, invoked after the batch is logged
+  /// but before it is routed. May remove transactions that cannot run
+  /// under the current membership (they are parked or retried by the
+  /// cluster); the command log keeps the original batch, so a replay fed
+  /// the same membership schedule reproduces the same filtering.
+  using BatchFilter = std::function<void(BatchId, std::vector<TxnRequest>*)>;
 
   /// `digest`, when non-null, receives every routing decision (txn id,
   /// masters, per-access placement) the moment a batch is routed.
@@ -51,14 +57,27 @@ class Scheduler {
   /// analysis cost. Must be called in batch order.
   void OnBatch(Batch&& batch);
 
+  /// Routes transactions released from the degraded-mode parking queue.
+  /// They were logged in their original batch, so this path skips the
+  /// command log; the batch filter still runs (a release can re-park if
+  /// another node is down). `release_id` tags the synthetic batch for the
+  /// filter; it is NOT a command-log batch id.
+  void RouteParked(BatchId release_id, std::vector<TxnRequest>&& txns);
+
   void set_observer(DispatchObserver observer) {
     observer_ = std::move(observer);
   }
+
+  void set_batch_filter(BatchFilter filter) { filter_ = std::move(filter); }
 
   SimTime busy_until() const { return busy_until_; }
   uint64_t batches_routed() const { return batches_routed_; }
 
  private:
+  /// Shared tail of OnBatch / RouteParked: filter, route, digest,
+  /// schedule dispatch after the modeled analysis (+ optional log) cost.
+  void Process(Batch&& batch, bool log);
+
   sim::Simulator* sim_;
   routing::Router* router_;
   TxnExecutor* executor_;
@@ -68,6 +87,7 @@ class Scheduler {
   DecisionDigest* digest_;
   DecisionDigest* placement_digest_;
   DispatchObserver observer_;
+  BatchFilter filter_;
   SimTime busy_until_ = 0;
   uint64_t batches_routed_ = 0;
 };

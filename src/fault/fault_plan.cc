@@ -40,8 +40,11 @@ FaultPlan FaultPlan::Generate(const FaultPlanConfig& config, uint64_t seed) {
       const SimTime outage = lo + rng.NextBounded(hi - lo + 1);
       const NodeId node =
           static_cast<NodeId>(rng.NextBounded(config.num_nodes));
-      plan.events.push_back(
-          FaultEvent{crash_at, FaultEvent::Kind::kCrash, node});
+      plan.events.push_back(FaultEvent{crash_at,
+                                       config.no_stall
+                                           ? FaultEvent::Kind::kCrashNoStall
+                                           : FaultEvent::Kind::kCrash,
+                                       node});
       plan.events.push_back(
           FaultEvent{crash_at + outage, FaultEvent::Kind::kRejoin, node});
     }
@@ -70,9 +73,12 @@ std::string FaultPlan::DebugString() const {
                 static_cast<unsigned long long>(link.max_jitter_us));
   out += buf;
   for (const FaultEvent& e : events) {
-    const char* kind = e.kind == FaultEvent::Kind::kCrash    ? "crash"
-                       : e.kind == FaultEvent::Kind::kRejoin ? "rejoin"
-                                                             : "failover";
+    const char* kind = e.kind == FaultEvent::Kind::kCrash ? "crash"
+                       : e.kind == FaultEvent::Kind::kRejoin
+                           ? "rejoin"
+                           : e.kind == FaultEvent::Kind::kCrashNoStall
+                                 ? "crash-nostall"
+                                 : "failover";
     std::snprintf(buf, sizeof(buf), "  t=%llu %s node=%d\n",
                   static_cast<unsigned long long>(e.at), kind, e.node);
     out += buf;

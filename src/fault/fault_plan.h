@@ -35,9 +35,12 @@ struct LinkChaosConfig {
 /// One scheduled fault.
 struct FaultEvent {
   enum class Kind {
-    kCrash,     ///< node loses its volatile store; cluster intake stalls
-    kRejoin,    ///< crashed node rebuilds from checkpoint + log replay
-    kFailover,  ///< replica-group primary dies mid-flight, standby promoted
+    kCrash,         ///< node loses its volatile store; cluster intake stalls
+    kRejoin,        ///< crashed node rebuilds from checkpoint + log replay
+    kFailover,      ///< replica-group primary dies mid-flight, standby promoted
+    kCrashNoStall,  ///< node dies but the cluster keeps sequencing: routers
+                    ///< route around it, ordered txns touching it are parked
+                    ///< or retried deterministically (degraded mode)
   };
   SimTime at = 0;
   Kind kind = Kind::kCrash;
@@ -61,6 +64,9 @@ struct FaultPlanConfig {
   SimTime max_outage_us = MsToSim(400);
   /// Schedule one mid-run primary failover (replica-group runs only).
   bool inject_failover = false;
+  /// Emit kCrashNoStall instead of kCrash: the cluster degrades (keeps
+  /// sequencing around the victim) instead of stalling intake.
+  bool no_stall = false;
   LinkChaosConfig link;
 };
 

@@ -62,10 +62,38 @@ SimTime FaultInjector::Now() const {
 
 void FaultInjector::AdvanceTo(SimTime t) {
   if (cluster_ != nullptr) {
+    // While a deferred checkpoint refresh is armed, step in metrics
+    // windows so a quiescent gap between submission waves is noticed and
+    // snapshotted instead of being leapt over in one RunUntil call.
+    if (refresh_pending_) {
+      const SimTime window =
+          std::max<SimTime>(1, cluster_->metrics().window_us());
+      while (refresh_pending_ && cluster_->Now() < t) {
+        const SimTime next =
+            std::min(t, ((cluster_->Now() / window) + 1) * window);
+        cluster_->RunUntil(next);
+        MaybeRefreshCheckpoint();
+      }
+    }
     if (cluster_->Now() < t) cluster_->RunUntil(t);
   } else {
     if (Now() < t) group_->RunUntil(t);
   }
+}
+
+void FaultInjector::MaybeRefreshCheckpoint() {
+  if (!refresh_pending_ || cluster_ == nullptr) return;
+  if (down_node_ != kInvalidNode) return;
+  // Quiescent means nothing in flight and no scheduled event. With intake
+  // unpaused that also implies no pending submissions (a pending
+  // submission always has its batch-cut event scheduled), so
+  // TakeCheckpoint's quiescence assertion holds.
+  if (cluster_->executor().inflight() != 0 || !cluster_->simulator().idle()) {
+    return;
+  }
+  checkpoint_ = cluster_->TakeCheckpoint();
+  refresh_pending_ = false;
+  ++checkpoint_refreshes_;
 }
 
 void FaultInjector::RunUntil(SimTime deadline) {
@@ -86,7 +114,15 @@ SimTime FaultInjector::Drain() {
     Apply(event);
     ++next_event_;
   }
-  if (cluster_ != nullptr) return cluster_->Drain();
+  if (cluster_ != nullptr) {
+    const SimTime t = cluster_->Drain();
+    MaybeRefreshCheckpoint();
+    if (monitor_ != nullptr && had_no_stall_) {
+      monitor_->CheckDegradedOracle(*cluster_, cluster_->kind(), map_factory_,
+                                    "post-drain degraded oracle");
+    }
+    return t;
+  }
   group_->Drain();
   return Now();
 }
@@ -97,7 +133,14 @@ void FaultInjector::Apply(const FaultEvent& event) {
       ApplyCrash(event);
       break;
     case FaultEvent::Kind::kRejoin:
-      ApplyRejoin(event);
+      if (down_no_stall_) {
+        ApplyRejoinNoStall(event);
+      } else {
+        ApplyRejoin(event);
+      }
+      break;
+    case FaultEvent::Kind::kCrashNoStall:
+      ApplyCrashNoStall(event);
       break;
     case FaultEvent::Kind::kFailover:
       ApplyFailover();
@@ -168,17 +211,72 @@ void FaultInjector::ApplyRejoin(const FaultEvent& event) {
       std::max(stats.rejoin_at, drained_at_) + stats.replay_us;
   AdvanceTo(resume_at);
   stats.resumed_at = Now();
+  stats.intake_resumed_at = stats.resumed_at;  // intake was paused until now
 
   // Refresh the rebuild baseline so the next cycle replays a short
   // suffix. Submissions can trickle in during the stall; if one is mid
-  // network-hop right now the cluster is not quiescent and we keep the
-  // old checkpoint (correct, just a longer future replay).
-  if (cluster_->executor().inflight() == 0 && cluster_->simulator().idle()) {
-    checkpoint_ = cluster_->TakeCheckpoint();
-  }
+  // network-hop right now the cluster is not quiescent, so the refresh is
+  // deferred to the next quiescent window instead of silently keeping the
+  // stale baseline (which would lengthen every later replay).
   down_node_ = kInvalidNode;
+  refresh_pending_ = true;
+  MaybeRefreshCheckpoint();
   RunMonitor("rejoin");
   cluster_->ResumeIntake();
+}
+
+void FaultInjector::ApplyCrashNoStall(const FaultEvent& event) {
+  assert(down_node_ == kInvalidNode && "overlapping crash cycles");
+  assert(event.node >= 0 && event.node < cluster_->num_nodes());
+  RecoveryStats stats;
+  stats.node = event.node;
+  stats.no_stall = true;
+  stats.crash_at = Now();
+  // Degraded mode: no pause, no drain. The cluster keeps sequencing and
+  // routes new batches around the victim, so crash_at doubles as the
+  // drain point and intake never stops.
+  stats.drained_at = stats.crash_at;
+  stats.intake_resumed_at = stats.crash_at;
+  RunMonitor("crash-nostall");
+  // The victim's store is lost; the rebuild replays checkpoint + log,
+  // which determinism makes bit-identical to what the node held. The
+  // simulation models that by detaching the image in place (CrashNoStall
+  // freezes every consumer at the node) and charging the replay cost at
+  // rejoin; the degraded oracle proves a from-scratch replay told the
+  // same membership schedule reproduces the same bits.
+  cluster_->CrashNoStall(event.node);
+  down_node_ = event.node;
+  down_no_stall_ = true;
+  had_no_stall_ = true;
+  recoveries_.push_back(stats);
+}
+
+void FaultInjector::ApplyRejoinNoStall(const FaultEvent& event) {
+  assert(down_node_ == event.node && "rejoin for a node that is not down");
+  RecoveryStats& stats = recoveries_.back();
+  stats.rejoin_at = Now();
+
+  // The node replays checkpoint + log in the background while the cluster
+  // keeps running degraded; it serves again once that cost has elapsed.
+  // No shadow cluster here — the live image was never discarded (see
+  // ApplyCrashNoStall), so only the virtual replay cost is charged.
+  for (const Batch& b : cluster_->command_log().batches()) {
+    if (b.id >= checkpoint_.next_batch) ++stats.replayed_batches;
+  }
+  stats.replay_us = static_cast<SimTime>(stats.replayed_batches) *
+                    cluster_->config().degraded.replay_us_per_batch;
+  AdvanceTo(stats.rejoin_at + stats.replay_us);
+  stats.resumed_at = Now();
+
+  cluster_->RejoinNoStall(event.node);
+  down_node_ = kInvalidNode;
+  down_no_stall_ = false;
+  // A no-stall rejoin happens under load: there is no quiescent point to
+  // snapshot at, so arm the deferred refresh for the next quiescent
+  // window.
+  refresh_pending_ = true;
+  MaybeRefreshCheckpoint();
+  RunMonitor("rejoin-nostall");
 }
 
 void FaultInjector::ApplyFailover() {

@@ -20,15 +20,23 @@ namespace hermes::fault {
 /// What one crash/rejoin cycle cost, in virtual time.
 struct RecoveryStats {
   NodeId node = kInvalidNode;
-  SimTime crash_at = 0;    ///< fault fired; intake paused
-  SimTime drained_at = 0;  ///< cluster quiesced; store discarded
+  bool no_stall = false;   ///< kCrashNoStall cycle (degraded mode)
+  SimTime crash_at = 0;    ///< fault fired
+  SimTime drained_at = 0;  ///< cluster quiesced (== crash_at for no-stall)
   SimTime rejoin_at = 0;   ///< scheduled rejoin point
   SimTime replay_us = 0;   ///< virtual cost of checkpoint+log replay
-  SimTime resumed_at = 0;  ///< intake resumed; node serving again
+  SimTime resumed_at = 0;  ///< node serving again
+  /// When cluster-wide intake accepted new work again: the stall model
+  /// pauses the sequencer until the node is rebuilt, so this equals
+  /// resumed_at; degraded mode never pauses, so it equals crash_at.
+  SimTime intake_resumed_at = 0;
   size_t replayed_batches = 0;
 
-  /// Virtual time the cluster could not accept new work.
-  SimTime stall_us() const { return resumed_at - crash_at; }
+  /// Virtual time the cluster could not accept new work. NOT the same
+  /// thing as time_to_recover_us(): the stall ends when cluster-wide
+  /// intake resumes (zero in degraded mode), recovery ends when the
+  /// crashed node serves again.
+  SimTime stall_us() const { return intake_resumed_at - crash_at; }
   /// Virtual time from the fault to the node serving again.
   SimTime time_to_recover_us() const { return resumed_at - crash_at; }
 };
@@ -50,7 +58,13 @@ struct RecoveryStats {
 ///      to what the live node held at the drain point), copy the rebuilt
 ///      store back, refresh the checkpoint, and resume intake at
 ///      max(rejoin time, drain time) + replay cost.
-///   3. kFailover (ReplicaGroup mode): the primary dies mid-flight with NO
+///   3. kCrashNoStall (degraded mode, DESIGN.md §5): the victim's store is
+///      lost mid-flight but the cluster keeps sequencing — new batches
+///      route around the dead node, already-ordered touchers are parked or
+///      UNDO-aborted and retried on a deterministic backoff, and the
+///      matching kRejoin charges the background replay cost before the
+///      node serves again (no drain, no intake pause at any point).
+///   4. kFailover (ReplicaGroup mode): the primary dies mid-flight with NO
 ///      drain; a standby is promoted on the already-fanned-out batch
 ///      stream (ReplicaGroup::FailoverNow).
 /// Link chaos (drops/duplicates/jitter) is installed for the whole run.
@@ -100,13 +114,23 @@ class FaultInjector {
   size_t events_applied() const { return next_event_; }
   const FaultPlan& plan() const { return plan_; }
 
+  /// Deferred-refresh observability (single-cluster mode).
+  bool refresh_pending() const { return refresh_pending_; }
+  int checkpoint_refreshes() const { return checkpoint_refreshes_; }
+  /// First batch the next replay would have to process: a refreshed
+  /// checkpoint pushes this forward, shortening that replay.
+  BatchId baseline_next_batch() const { return checkpoint_.next_batch; }
+
  private:
   void Apply(const FaultEvent& event);
   void RunMonitor(const char* what);
   void ApplyCrash(const FaultEvent& event);
   void ApplyRejoin(const FaultEvent& event);
+  void ApplyCrashNoStall(const FaultEvent& event);
+  void ApplyRejoinNoStall(const FaultEvent& event);
   void ApplyFailover();
   void AdvanceTo(SimTime t);
+  void MaybeRefreshCheckpoint();
 
   engine::Cluster* cluster_ = nullptr;
   engine::ReplicaGroup* group_ = nullptr;
@@ -118,9 +142,17 @@ class FaultInjector {
 
   size_t next_event_ = 0;
   NodeId down_node_ = kInvalidNode;
+  bool down_no_stall_ = false;
   SimTime drained_at_ = 0;
   std::vector<RecoveryStats> recoveries_;
   int failovers_applied_ = 0;
+  /// Deferred checkpoint refresh (degraded mode): a no-stall rejoin under
+  /// load has no quiescent point to snapshot at, so the refresh is armed
+  /// and retaken at the next quiescent window instead of silently keeping
+  /// the stale baseline (which would lengthen every later replay).
+  bool refresh_pending_ = false;
+  int checkpoint_refreshes_ = 0;
+  bool had_no_stall_ = false;
 };
 
 }  // namespace hermes::fault

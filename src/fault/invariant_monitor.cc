@@ -122,6 +122,54 @@ bool InvariantMonitor::CheckAgainstOracle(engine::Cluster& live,
   return failures_.size() == before;
 }
 
+bool InvariantMonitor::CheckDegradedOracle(engine::Cluster& live,
+                                           engine::RouterKind kind,
+                                           const MapFactory& map_factory,
+                                           const std::string& context) {
+  const size_t before = failures_.size();
+  char buf[256];
+  // Same fresh-cluster construction as CheckAgainstOracle, but the replay
+  // is handed the live run's membership schedule so its batch filter makes
+  // the same degraded classifications at the same batch boundaries.
+  engine::Cluster oracle(live.config(), kind, map_factory());
+  oracle.SetReplayMembershipSchedule(live.degraded_schedule());
+  oracle.Load();
+  oracle.ReplayBatches(live.command_log().batches());
+  if (oracle.placement_digest().value() != live.placement_digest().value()) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] degraded placement digest diverged: live=%016llx "
+                  "replay=%016llx (degraded routing not a pure function of "
+                  "the membership schedule)",
+                  context.c_str(),
+                  static_cast<unsigned long long>(
+                      live.placement_digest().value()),
+                  static_cast<unsigned long long>(
+                      oracle.placement_digest().value()));
+    Fail(buf);
+  }
+  if (oracle.StateChecksum() != live.StateChecksum()) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] degraded state checksum diverged: live=%016llx "
+                  "replay=%016llx (a committed write was lost or invented "
+                  "at an epoch boundary)",
+                  context.c_str(),
+                  static_cast<unsigned long long>(live.StateChecksum()),
+                  static_cast<unsigned long long>(oracle.StateChecksum()));
+    Fail(buf);
+  }
+  if (oracle.executor().committed() != live.executor().committed() ||
+      oracle.executor().aborted() != live.executor().aborted()) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] degraded commit/abort counts diverged: "
+                  "live=%zu/%zu replay=%zu/%zu",
+                  context.c_str(), live.executor().committed(),
+                  live.executor().aborted(), oracle.executor().committed(),
+                  oracle.executor().aborted());
+    Fail(buf);
+  }
+  return failures_.size() == before;
+}
+
 bool InvariantMonitor::CheckReplicaChecksums(engine::ReplicaGroup& group,
                                              const std::string& context) {
   const size_t before = failures_.size();

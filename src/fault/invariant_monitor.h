@@ -53,6 +53,20 @@ class InvariantMonitor {
                           const MapFactory& map_factory,
                           const std::string& context);
 
+  /// Degraded-mode oracle (DESIGN.md §5 "Degraded mode"): like
+  /// CheckAgainstOracle, but the replay is TOLD the live run's membership
+  /// schedule (epoch-numbered crash/rejoin events and watchdog-abort
+  /// records, all pure functions of the fault plan) so it drops the same
+  /// blocked transactions, parks the same chunks, and flips the same
+  /// user-aborts at the same batch boundaries. Asserts the post-epoch
+  /// placement digest, the state checksum and the committed/aborted counts
+  /// all match — i.e. no committed write was lost at any epoch boundary
+  /// and degraded routing stayed a pure function of (plan, config). Call
+  /// at quiescence after the final rejoin.
+  bool CheckDegradedOracle(engine::Cluster& live, engine::RouterKind kind,
+                           const MapFactory& map_factory,
+                           const std::string& context);
+
   /// All live replicas hold bit-identical stores (call after Drain()).
   bool CheckReplicaChecksums(engine::ReplicaGroup& group,
                              const std::string& context);

@@ -18,6 +18,7 @@ void Router::OnAddNode(NodeId node) {
       active_nodes_.end()) {
     active_nodes_.push_back(node);
     std::sort(active_nodes_.begin(), active_nodes_.end());
+    candidate_epoch_valid_ = false;
   }
 }
 
@@ -25,6 +26,22 @@ void Router::OnRemoveNode(NodeId node) {
   active_nodes_.erase(
       std::remove(active_nodes_.begin(), active_nodes_.end(), node),
       active_nodes_.end());
+  candidate_epoch_valid_ = false;
+}
+
+const std::vector<NodeId>& Router::candidate_nodes() const {
+  if (membership_ == nullptr || !membership_->any_down()) {
+    return active_nodes_;
+  }
+  if (!candidate_epoch_valid_ || candidate_epoch_ != membership_->epoch()) {
+    candidate_cache_.clear();
+    for (NodeId n : active_nodes_) {
+      if (membership_->alive(n)) candidate_cache_.push_back(n);
+    }
+    candidate_epoch_ = membership_->epoch();
+    candidate_epoch_valid_ = true;
+  }
+  return candidate_cache_;
 }
 
 std::vector<std::pair<Key, bool>> Router::MergedAccessSet(
@@ -129,7 +146,12 @@ RoutedTxn Router::PlanProvisioningDefault(const TxnRequest& txn) {
   } else {
     OnRemoveNode(txn.migration_target);
   }
-  rt.masters = {active_nodes_.empty() ? 0 : active_nodes_.front()};
+  // Master the marker on the first *live* active node so a marker routed
+  // during a degraded window never lands on a crashed node (identical to
+  // active_nodes_.front() whenever every node is alive).
+  const std::vector<NodeId>& live = candidate_nodes();
+  rt.masters = {live.empty() ? (active_nodes_.empty() ? 0 : active_nodes_.front())
+                             : live.front()};
   return rt;
 }
 

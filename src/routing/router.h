@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/membership.h"
 #include "common/types.h"
 #include "partition/partition_map.h"
 #include "txn/transaction.h"
@@ -91,6 +92,21 @@ class Router {
   /// Restores the active node set from a checkpoint.
   void RestoreActiveNodes(std::vector<NodeId> nodes) {
     active_nodes_ = std::move(nodes);
+    candidate_epoch_valid_ = false;
+  }
+
+  /// Installs the degraded-mode liveness view (nullptr = everything
+  /// alive). Candidate sets shrink to the alive subset of active nodes
+  /// while any node is down; the view's epoch counter invalidates the
+  /// cached subset.
+  void set_membership(const MembershipView* membership) {
+    membership_ = membership;
+    candidate_epoch_valid_ = false;
+  }
+  const MembershipView* membership() const { return membership_; }
+
+  bool NodeAlive(NodeId node) const {
+    return membership_ == nullptr || membership_->alive(node);
   }
 
  protected:
@@ -131,9 +147,20 @@ class Router {
   /// and emits a no-op plan.
   RoutedTxn PlanProvisioningDefault(const TxnRequest& txn);
 
+  /// Active nodes filtered to the alive subset (== active_nodes_ when no
+  /// membership view is installed or nothing is down). Cached per
+  /// membership epoch; provisioning invalidates via the mutators above.
+  const std::vector<NodeId>& candidate_nodes() const;
+
   partition::OwnershipMap* ownership_;
   const CostModel* costs_;
   std::vector<NodeId> active_nodes_;
+
+ private:
+  const MembershipView* membership_ = nullptr;
+  mutable std::vector<NodeId> candidate_cache_;
+  mutable uint32_t candidate_epoch_ = 0;
+  mutable bool candidate_epoch_valid_ = false;
 };
 
 }  // namespace hermes::routing

@@ -123,6 +123,8 @@ void WriteTxn(Writer& w, const TxnRequest& txn) {
   w.I64(txn.home_sequencer);
   w.I64(txn.migration_target);
   w.U64(txn.submit_time);
+  w.U64(txn.attempt);
+  w.U64(txn.retry_of);
   w.U64(txn.range_moves.size());
   for (const RangeMove& mv : txn.range_moves) {
     w.U64(mv.lo);
@@ -158,6 +160,9 @@ Status ReadTxn(Reader& r, TxnRequest* txn) {
   HERMES_RETURN_IF_ERROR(r.I64(&i));
   txn->migration_target = static_cast<NodeId>(i);
   HERMES_RETURN_IF_ERROR(r.U64(&txn->submit_time));
+  HERMES_RETURN_IF_ERROR(r.U64(&u));
+  txn->attempt = static_cast<uint32_t>(u);
+  HERMES_RETURN_IF_ERROR(r.U64(&txn->retry_of));
   HERMES_RETURN_IF_ERROR(r.Count(&u));
   txn->range_moves.resize(u);
   for (RangeMove& mv : txn->range_moves) {

@@ -66,6 +66,12 @@ struct TxnRequest {
   std::vector<RangeMove> range_moves;
   /// Simulated time the client issued the request.
   SimTime submit_time = 0;
+  /// Degraded-mode retry generation: 0 for the first submission, +1 per
+  /// deterministic re-enqueue after a dead-node classification.
+  uint32_t attempt = 0;
+  /// Id of the original submission this retry descends from (kInvalidTxn
+  /// for first submissions); anchors the deterministic backoff draw.
+  TxnId retry_of = kInvalidTxn;
 
   /// Number of distinct storage operations this transaction performs.
   size_t NumOps() const { return read_set.size() + write_set.size(); }

@@ -56,13 +56,15 @@ FaultInjector::MapFactory MapFactory(const ClusterConfig& config) {
   };
 }
 
-FaultPlan MakePlan(const ClusterConfig& config, uint64_t seed) {
+FaultPlan MakePlan(const ClusterConfig& config, uint64_t seed,
+                   bool no_stall = false) {
   FaultPlanConfig pc;
   pc.horizon_us = MsToSim(120);
   pc.num_nodes = config.num_nodes;
   pc.crash_cycles = 1;
   pc.min_outage_us = MsToSim(10);
   pc.max_outage_us = MsToSim(40);
+  pc.no_stall = no_stall;
   pc.link.drop_prob = 0.05;
   pc.link.duplicate_prob = 0.03;
   pc.link.max_jitter_us = 300;
@@ -77,6 +79,10 @@ struct ChaosOutcome {
   uint64_t commits = 0;
   uint64_t dropped = 0;
   uint64_t duplicated = 0;
+  uint64_t retry_digest = 0;
+  uint64_t retry_transcript_len = 0;
+  uint64_t parked_total = 0;
+  uint64_t watchdog_aborts = 0;
   std::vector<SimTime> recovery_us;
   bool monitors_ok = true;
   std::string report;
@@ -88,6 +94,10 @@ bool SameOutcome(const ChaosOutcome& a, const ChaosOutcome& b) {
          a.placement_digest == b.placement_digest &&
          a.state_checksum == b.state_checksum && a.commits == b.commits &&
          a.dropped == b.dropped && a.duplicated == b.duplicated &&
+         a.retry_digest == b.retry_digest &&
+         a.retry_transcript_len == b.retry_transcript_len &&
+         a.parked_total == b.parked_total &&
+         a.watchdog_aborts == b.watchdog_aborts &&
          a.recovery_us == b.recovery_us;
 }
 
@@ -95,12 +105,17 @@ bool SameOutcome(const ChaosOutcome& a, const ChaosOutcome& b) {
 /// router. `deep_checks` additionally replays the command log through a
 /// fault-free oracle (run it on one salt per seed; it is pure overhead on
 /// the others since the compared digests are already in the outcome).
-ChaosOutcome RunChaos(uint64_t plan_seed, bool deep_checks) {
-  const ClusterConfig config = ChaosConfig();
+ChaosOutcome RunChaos(uint64_t plan_seed, bool deep_checks,
+                      bool no_stall = false) {
+  ClusterConfig config = ChaosConfig();
+  // The degraded corpus runs a chunk-migration stream under the outage,
+  // so crashes land mid-chunk-migration / mid-consolidation; small
+  // chunks stretch the stream across the whole fault window.
+  if (no_stall) config.migration_chunk_records = 300;
   Cluster cluster(config, RouterKind::kHermes, MapFactory(config)());
   cluster.Load();
 
-  const FaultPlan plan = MakePlan(config, plan_seed);
+  const FaultPlan plan = MakePlan(config, plan_seed, no_stall);
   FaultInjector injector(&cluster, plan, MapFactory(config));
   InvariantMonitor monitor(config.num_records);
   injector.set_monitor(&monitor);
@@ -115,14 +130,29 @@ ChaosOutcome RunChaos(uint64_t plan_seed, bool deep_checks) {
   driver.set_stop_time(MsToSim(120));
   driver.Start();
 
+  if (no_stall) {
+    // Start a seeded consolidation-style migration wave early so the
+    // plan's crash can land while chunks are mid-flight.
+    injector.RunUntil(MsToSim(15));
+    const Key lo = Mix64(plan_seed ^ 0x6d1eULL) %
+                   (config.num_records - 1'500);
+    const NodeId target =
+        static_cast<NodeId>(Mix64(plan_seed ^ 0x3a7fULL) % config.num_nodes);
+    cluster.SubmitMigrationPlan({{lo, lo + 1'199, target}});
+  }
   injector.RunUntil(MsToSim(120));
   injector.Drain();
 
   monitor.CheckRecordSingularity(cluster, "final");
   monitor.CheckNoLostRecords(cluster, "final");
   if (deep_checks) {
-    monitor.CheckAgainstOracle(cluster, RouterKind::kHermes,
-                               MapFactory(config), "oracle");
+    if (no_stall) {
+      monitor.CheckDegradedOracle(cluster, RouterKind::kHermes,
+                                  MapFactory(config), "degraded oracle");
+    } else {
+      monitor.CheckAgainstOracle(cluster, RouterKind::kHermes,
+                                 MapFactory(config), "oracle");
+    }
   }
 
   ChaosOutcome out;
@@ -133,6 +163,10 @@ ChaosOutcome RunChaos(uint64_t plan_seed, bool deep_checks) {
   out.commits = cluster.metrics().total_commits();
   out.dropped = cluster.network().messages_dropped();
   out.duplicated = cluster.network().messages_duplicated();
+  out.retry_digest = cluster.degraded_ledger().RetryDigest();
+  out.retry_transcript_len = cluster.degraded_ledger().transcript().size();
+  out.parked_total = cluster.degraded_ledger().parked_total();
+  out.watchdog_aborts = cluster.degraded_ledger().watchdog_aborts();
   for (const fault::RecoveryStats& r : injector.recoveries()) {
     out.recovery_us.push_back(r.time_to_recover_us());
   }
@@ -181,6 +215,57 @@ TEST(ChaosPropertyTest, ManySeededPlansHoldInvariantsAndStayDeterministic) {
   EXPECT_GT(total_chaos, 0u) << "link chaos never fired across any seed";
 }
 
+// Degraded-mode corpus: the same 25 seeds with kCrashNoStall plans plus a
+// seeded chunk-migration stream, so crashes land mid-chunk-migration and
+// mid-consolidation while the cluster keeps sequencing. Adds the retry
+// transcript (digest + counters) to the cross-salt equality requirement:
+// every block/park/retry/watchdog decision must be a pure function of
+// (plan seed, config), and the schedule-fed replay must reproduce the
+// run's placements and state.
+TEST(ChaosPropertyTest, NoStallPlansStayDeterministicUnderDegradedMode) {
+  const uint64_t old_salt = HashSalt();
+  const std::vector<uint64_t> salts = PerturbationSalts();
+  uint64_t total_degraded = 0;
+
+  for (int s = 0; s < kNumSeeds; ++s) {
+    const uint64_t plan_seed = kSeedBase + s;
+    std::vector<ChaosOutcome> outcomes;
+    for (size_t i = 0; i < salts.size(); ++i) {
+      SetHashSalt(salts[i]);
+      outcomes.push_back(
+          RunChaos(plan_seed, /*deep_checks=*/i == 0, /*no_stall=*/true));
+    }
+    SetHashSalt(old_salt);
+
+    const ChaosOutcome& base = outcomes[0];
+    ASSERT_TRUE(base.monitors_ok)
+        << "plan seed " << plan_seed << ":\n" << base.report;
+    ASSERT_GT(base.commits, 50u) << "plan seed " << plan_seed;
+    ASSERT_FALSE(base.recovery_us.empty()) << "plan seed " << plan_seed;
+    // Any one plan can draw an outage nothing was routed into; require
+    // degraded handling to fire across the corpus (asserted after the
+    // loop).
+    total_degraded +=
+        base.retry_transcript_len + base.parked_total + base.watchdog_aborts;
+
+    for (size_t i = 1; i < outcomes.size(); ++i) {
+      ASSERT_TRUE(outcomes[i].monitors_ok)
+          << "plan seed " << plan_seed << " salt 0x" << std::hex << salts[i]
+          << ":\n" << outcomes[i].report;
+      EXPECT_TRUE(SameOutcome(base, outcomes[i]))
+          << "plan seed " << plan_seed << " diverged under salt 0x"
+          << std::hex << salts[i] << ": retry digest "
+          << outcomes[i].retry_digest << " vs " << base.retry_digest
+          << ", placement " << outcomes[i].placement_digest << " vs "
+          << base.placement_digest << std::dec << ", commits "
+          << outcomes[i].commits << " vs " << base.commits
+          << " — a degraded-mode decision depends on hash iteration order";
+    }
+  }
+  EXPECT_GT(total_degraded, 0u)
+      << "no plan ever blocked, parked or watchdog-aborted anything";
+}
+
 // One seeded chaos lifetime under the PROCESS salt (HERMES_HASH_SALT),
 // printing a parseable outcome line. scripts/check_determinism.sh --chaos
 // runs this binary under several env salts and requires every printed
@@ -206,6 +291,30 @@ TEST(ChaosScriptProfile, SingleSeededPlanPrintsOutcome) {
               static_cast<unsigned long long>(out.dropped),
               static_cast<unsigned long long>(out.duplicated),
               recoveries.c_str());
+}
+
+// Degraded-mode counterpart: one seeded no-stall lifetime under the
+// process salt. scripts/check_determinism.sh --degraded reruns this under
+// several env salts and requires identical DEGRADED_PROFILE lines —
+// including the retry-transcript digest, i.e. the full block/park/retry
+// history, not just the end state.
+TEST(ChaosScriptProfile, SingleNoStallPlanPrintsOutcome) {
+  const ChaosOutcome out =
+      RunChaos(kSeedBase + 2000, /*deep_checks=*/true, /*no_stall=*/true);
+  ASSERT_TRUE(out.monitors_ok) << out.report;
+  ASSERT_FALSE(out.recovery_us.empty());
+  std::printf("DEGRADED_PROFILE digest=%016llx placement=%016llx "
+              "checksum=%016llx commits=%llu retry_digest=%016llx "
+              "retries=%llu parked=%llu watchdog=%llu recovery_us=%llu\n",
+              static_cast<unsigned long long>(out.decision_digest),
+              static_cast<unsigned long long>(out.placement_digest),
+              static_cast<unsigned long long>(out.state_checksum),
+              static_cast<unsigned long long>(out.commits),
+              static_cast<unsigned long long>(out.retry_digest),
+              static_cast<unsigned long long>(out.retry_transcript_len),
+              static_cast<unsigned long long>(out.parked_total),
+              static_cast<unsigned long long>(out.watchdog_aborts),
+              static_cast<unsigned long long>(out.recovery_us[0]));
 }
 
 }  // namespace

@@ -80,6 +80,51 @@ TEST(FaultPlanTest, OutageBoundsRespected) {
   }
 }
 
+TEST(FaultPlanTest, NoStallPlansEmitCrashNoStallEvents) {
+  FaultPlanConfig config = BaseConfig();
+  config.no_stall = true;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const FaultPlan plan = FaultPlan::Generate(config, seed);
+    EXPECT_EQ(plan.events.size(), 2u * config.crash_cycles);
+    NodeId down = kInvalidNode;
+    for (const FaultEvent& e : plan.events) {
+      EXPECT_NE(e.kind, FaultEvent::Kind::kCrash)
+          << "a no-stall plan drew a stalling crash, seed " << seed;
+      if (e.kind == FaultEvent::Kind::kCrashNoStall) {
+        EXPECT_EQ(down, kInvalidNode) << "overlapping outages, seed " << seed;
+        down = e.node;
+      } else {
+        ASSERT_EQ(e.kind, FaultEvent::Kind::kRejoin);
+        EXPECT_EQ(down, e.node) << "rejoin without crash, seed " << seed;
+        down = kInvalidNode;
+      }
+    }
+    EXPECT_EQ(down, kInvalidNode) << "crash never rejoined, seed " << seed;
+  }
+}
+
+TEST(FaultPlanTest, NoStallFlagOnlyChangesEventKinds) {
+  // Same seed, same draws: the no-stall flag swaps the crash kind but
+  // must not perturb the schedule itself.
+  FaultPlanConfig stall = BaseConfig();
+  FaultPlanConfig no_stall = BaseConfig();
+  no_stall.no_stall = true;
+  const FaultPlan a = FaultPlan::Generate(stall, 42);
+  const FaultPlan b = FaultPlan::Generate(no_stall, 42);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].node, b.events[i].node);
+    if (a.events[i].kind == FaultEvent::Kind::kCrash) {
+      EXPECT_EQ(b.events[i].kind, FaultEvent::Kind::kCrashNoStall);
+    } else {
+      EXPECT_EQ(b.events[i].kind, a.events[i].kind);
+    }
+  }
+  EXPECT_NE(b.DebugString().find("crash-nostall"), std::string::npos)
+      << b.DebugString();
+}
+
 TEST(FaultPlanTest, FailoverLandsMidRun) {
   FaultPlanConfig config = BaseConfig();
   config.crash_cycles = 0;
