@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# Runs the headline benchmarks and emits BENCH_overall.json: the Fig. 6
+# overall-throughput summary (parsed from bench_fig06_overall's series
+# table) plus the routing microbenchmark numbers (google-benchmark JSON
+# from bench_micro_routing), one file for dashboards and regression
+# tracking. EXPERIMENTS.md records the paper-vs-measured comparison.
+#
+# Usage: scripts/bench_all.sh
+#   BUILD_DIR  cmake build tree containing bench/ (default: build)
+#   OUT        output JSON path (default: BENCH_overall.json in repo root)
+#   FILTER     bench_micro_routing --benchmark_filter (default: all)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_overall.json}"
+FILTER="${FILTER:-.}"
+FIG06="$BUILD_DIR/bench/bench_fig06_overall"
+MICRO="$BUILD_DIR/bench/bench_micro_routing"
+
+for bin in "$FIG06" "$MICRO"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (run: cmake -B $BUILD_DIR && cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+fig06_txt="$(mktemp)"
+micro_json="$(mktemp)"
+trap 'rm -f "$fig06_txt" "$micro_json"' EXIT
+
+echo "== $FIG06 =="
+"$FIG06" | tee "$fig06_txt"
+
+echo "== $MICRO =="
+"$MICRO" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$micro_json" \
+  --benchmark_out_format=json
+
+# Merge: the fig06 summary rows ("  <system> <mean> (<delta>% vs calvin)")
+# become {"system": ..., "mean_txn_per_window": ..., "vs_calvin_pct": ...}
+# and the google-benchmark JSON is embedded whole under "micro_routing".
+python3 - "$fig06_txt" "$micro_json" "$OUT" <<'EOF'
+import json
+import re
+import sys
+
+fig06_path, micro_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+summary = []
+in_summary = False
+for line in open(fig06_path):
+    if line.startswith("summary ("):
+        in_summary = True
+        continue
+    if not in_summary:
+        continue
+    m = re.match(r"\s+(\S+)\s+(\d+)\s+\(([+-]\d+)% vs calvin\)", line)
+    if m:
+        summary.append({
+            "system": m.group(1),
+            "mean_txn_per_window": int(m.group(2)),
+            "vs_calvin_pct": int(m.group(3)),
+        })
+
+if not summary:
+    sys.exit("error: no summary rows parsed from bench_fig06_overall output")
+
+with open(micro_path) as f:
+    micro = json.load(f)
+
+with open(out_path, "w") as f:
+    json.dump({"fig06_overall": summary, "micro_routing": micro}, f,
+              indent=2, sort_keys=True)
+    f.write("\n")
+EOF
+
+echo "wrote $OUT"

@@ -19,6 +19,12 @@
 # counters — the full degraded decision history must be salt-invariant,
 # not just the end state.
 #
+# The trace block does the same for the observability subsystem: every
+# TRACE_DIGEST line trace_determinism_test prints (the FNV-1a digest over
+# the full structured event stream) must be one value across the env
+# salts — the trace, like the decisions it observes, is a pure function
+# of (config, seeds).
+#
 # Usage: scripts/check_determinism.sh [build-dir]   (default: build)
 
 set -eu
@@ -26,8 +32,9 @@ set -eu
 BUILD_DIR="${1:-build}"
 TEST_BIN="$BUILD_DIR/tests/determinism_perturbation_test"
 CHAOS_BIN="$BUILD_DIR/tests/chaos_property_test"
+TRACE_BIN="$BUILD_DIR/tests/trace_determinism_test"
 
-if [ ! -x "$TEST_BIN" ] || [ ! -x "$CHAOS_BIN" ]; then
+if [ ! -x "$TEST_BIN" ] || [ ! -x "$CHAOS_BIN" ] || [ ! -x "$TRACE_BIN" ]; then
   echo "error: $TEST_BIN or $CHAOS_BIN not found — build first:" >&2
   echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
   exit 2
@@ -94,3 +101,26 @@ fi
 
 echo "OK: degraded outcome identical across all env salts:"
 echo "  $degraded"
+
+# Trace digests: every TRACE_DIGEST printed by trace_determinism_test —
+# across all processes and all in-process salts — must be one value.
+trace_out="$(mktemp)"
+trap 'rm -f "$out" "$chaos_out" "$trace_out"' EXIT
+
+for salt in $SALTS; do
+  echo "== trace HERMES_HASH_SALT=$salt =="
+  HERMES_HASH_SALT="$salt" "$TRACE_BIN" \
+    --gtest_filter='TraceDeterminismTest.TraceBitIdenticalAcrossSalts' \
+    | tee -a "$trace_out"
+done
+
+trace_digests="$(sed -n 's/.*TRACE_DIGEST \([0-9a-f]*\) .*/\1/p' "$trace_out" | sort -u)"
+trace_count="$(printf '%s\n' "$trace_digests" | grep -c . || true)"
+
+if [ "$trace_count" -ne 1 ]; then
+  echo "FAIL: expected one trace digest across all salts, got $trace_count:" >&2
+  printf '%s\n' "$trace_digests" >&2
+  exit 1
+fi
+
+echo "OK: trace digest $trace_digests identical across all env and in-process salts"

@@ -106,6 +106,19 @@ struct DegradedConfig {
   SimTime replay_us_per_batch = 150;
 };
 
+/// Observability (src/obs/) parameters. Tracing is strictly passive —
+/// nothing here may change a decision — so these knobs only affect what
+/// gets recorded, never what the cluster does.
+struct ObsConfig {
+  /// Record span/instant events into the per-node trace rings. Off by
+  /// default: a disabled tracer costs one null check per trace site.
+  /// The HERMES_TRACE env var (any non-"0" value) also enables it.
+  bool trace_enabled = false;
+  /// Capacity of each per-node event ring; older events are overwritten
+  /// (and counted in the drop counter) once a ring fills.
+  size_t trace_ring_capacity = 1 << 15;
+};
+
 /// Top-level configuration of a simulated cluster.
 struct ClusterConfig {
   int num_nodes = 4;
@@ -131,6 +144,7 @@ struct ClusterConfig {
   /// retry (§2.1). Drawn from the cluster's seeded RNG.
   double ollp_stale_prob = 0.05;
   DegradedConfig degraded;
+  ObsConfig obs;
 };
 
 }  // namespace hermes

@@ -73,7 +73,10 @@ void FusionTable::PutPinnedImpl(Key key, NodeId node, PinnedFn&& is_pinned,
     }
     const Key evictee = *victim;
     victim = order_.erase(victim);
-    entries_.erase(evictee);
+    auto entry = entries_.find(evictee);
+    HERMES_TRACE(tracer_, obs::EventKind::kFusionEvict, entry->second.node,
+                 kInvalidTxn, evictee);
+    entries_.erase(entry);
     if (digest_ != nullptr) digest_->Mix(evictee);
     evicted->push_back(evictee);
   }

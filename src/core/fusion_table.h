@@ -11,6 +11,7 @@
 #include "common/digest.h"
 #include "common/hash.h"
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace hermes::core {
 
@@ -82,6 +83,10 @@ class FusionTable {
   /// migration accesses to the current transaction's plan).
   void set_digest(DecisionDigest* digest) { digest_ = digest; }
 
+  /// Attaches the passive tracer: evictions emit kFusionEvict events
+  /// (write-only; no table or eviction decision reads tracer state).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Eviction eligibility filter (nullptr = everything evictable). Used
   /// by degraded mode: a key whose homeward migration would ship toward a
   /// dead node keeps its slot until that node rejoins. The filter must be
@@ -108,6 +113,7 @@ class FusionTable {
   std::list<Key> order_;  // front = oldest / next eviction victim
   HashMap<Key, Entry> entries_;
   DecisionDigest* digest_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::function<bool(Key)> evictable_;
 };
 

@@ -711,6 +711,8 @@ RoutedTxn HermesRouter::PlanChunkMigration(const TxnRequest& txn) {
                                  /*new_owner=*/dst});
   }
   if (!first) ownership_->SetRangeOwner(lo, hi, dst);
+  HERMES_TRACE(tracer_, obs::EventKind::kChunkMigration, dst, txn.id, lo,
+               rt.accesses.size());
   return rt;
 }
 
@@ -718,6 +720,9 @@ RoutedTxn HermesRouter::PlanProvisioning(const TxnRequest& txn) {
   RoutedTxn rt;
   rt.txn = txn;
   rt.masters = {active_nodes_.empty() ? 0 : active_nodes_.front()};
+  HERMES_TRACE(tracer_, obs::EventKind::kNodeProvision, txn.migration_target,
+               txn.id, static_cast<Key>(-1),
+               static_cast<uint64_t>(txn.kind));
   if (txn.kind == TxnKind::kAddNode) {
     OnAddNode(txn.migration_target);
     return rt;

@@ -56,6 +56,15 @@ class HermesRouter : public routing::Router {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Installs the passive tracer on the router and its fusion table:
+  /// evictions, chunk migrations and provisioning markers emit events.
+  /// Strictly write-only — no routing decision reads tracer state (the
+  /// detlint obs-decision rule audits this directory for exactly that).
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    fusion_table_.set_tracer(tracer);
+  }
+
  private:
   /// Routes one run of regular transactions (special transactions act as
   /// segment barriers) and appends the plans. Dispatches to the optimized
@@ -91,6 +100,7 @@ class HermesRouter : public routing::Router {
   HermesConfig config_;
   FusionTable fusion_table_;
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
 
   /// Per-batch working set of the optimized RouteSegment and Materialize,
   /// owned by the router so capacity persists across batches. Every

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "obs/export.h"
 #include "routing/calvin_router.h"
 #include "routing/gstore_router.h"
 #include "routing/leap_router.h"
@@ -80,8 +81,109 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
              std::vector<Key> stranded) {
         OnWatchdogAbort(std::move(txn), std::move(cb), std::move(stranded));
       });
+  // Observability wiring: the tracer is passive (components only write
+  // into it), timestamps come from the virtual clock, and the env vars
+  // keep the historical UX — HERMES_TRACE=1 records everything,
+  // HERMES_TRACE_KEY=<key> mirrors one key's events to stderr.
+  tracer_.Configure(config_.obs.trace_ring_capacity);
+  tracer_.set_clock(sim_.now_handle());
+  if (config_.obs.trace_enabled) tracer_.set_enabled(true);
+  if (const char* env = std::getenv("HERMES_TRACE")) {
+    if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+      tracer_.set_enabled(true);
+    }
+  }
   if (const char* env = std::getenv("HERMES_TRACE_KEY")) {
-    trace_key_ = std::strtoull(env, nullptr, 10);
+    tracer_.set_mirror_key(std::strtoull(env, nullptr, 10));
+  }
+  executor_.set_tracer(&tracer_);
+  scheduler_.set_tracer(&tracer_);
+  if (kind_ == RouterKind::kHermes) {
+    static_cast<core::HermesRouter*>(router_.get())->set_tracer(&tracer_);
+  }
+  RegisterTelemetry();
+}
+
+void Cluster::RegisterTelemetry() {
+  // All closures read live engine state that is itself salt-invariant, so
+  // TelemetryText() is byte-identical across reruns and hash salts.
+  telemetry_.RegisterCounter("hermes_txn_committed_total",
+                             [this] { return executor_.committed(); });
+  telemetry_.RegisterCounter("hermes_txn_aborted_total",
+                             [this] { return executor_.aborted(); });
+  telemetry_.RegisterCounter("hermes_batches_routed_total",
+                             [this] { return scheduler_.batches_routed(); });
+  telemetry_.RegisterCounter("hermes_ollp_reconnaissance_total",
+                             [this] { return ollp_recons_; });
+  telemetry_.RegisterCounter("hermes_ollp_retries_total",
+                             [this] { return ollp_retries_; });
+  telemetry_.RegisterCounter("hermes_degraded_parked_total", [this] {
+    return degraded_ledger_.parked_total();
+  });
+  telemetry_.RegisterCounter("hermes_degraded_retries_total", [this] {
+    return degraded_ledger_.retries_scheduled();
+  });
+  telemetry_.RegisterCounter("hermes_degraded_unavailable_total", [this] {
+    return degraded_ledger_.unavailable_aborts();
+  });
+  telemetry_.RegisterCounter("hermes_degraded_watchdog_aborts_total", [this] {
+    return degraded_ledger_.watchdog_aborts();
+  });
+  telemetry_.RegisterCounter("hermes_degraded_reclaims_total", [this] {
+    return degraded_ledger_.reclaims();
+  });
+  telemetry_.RegisterCounter("hermes_degraded_reships_total", [this] {
+    return degraded_ledger_.reships();
+  });
+  telemetry_.RegisterCounter("hermes_trace_events_total",
+                             [this] { return tracer_.total_recorded(); });
+  telemetry_.RegisterGauge("hermes_trace_dropped", [this] {
+    return static_cast<int64_t>(tracer_.total_dropped());
+  });
+  telemetry_.RegisterGauge("hermes_txn_inflight", [this] {
+    return static_cast<int64_t>(executor_.inflight());
+  });
+  telemetry_.RegisterGauge("hermes_degraded_parked", [this] {
+    return static_cast<int64_t>(parked_.size());
+  });
+  telemetry_.RegisterGauge("hermes_membership_epoch", [this] {
+    return static_cast<int64_t>(membership_.epoch());
+  });
+  telemetry_.RegisterGauge("hermes_net_bytes_sent_total", [this] {
+    return static_cast<int64_t>(net_.total_bytes());
+  });
+  telemetry_.RegisterGauge("hermes_net_bytes_received_total", [this] {
+    return static_cast<int64_t>(net_.total_bytes_received());
+  });
+  telemetry_.RegisterGauge("hermes_sim_events_executed_total", [this] {
+    return static_cast<int64_t>(sim_.events_executed());
+  });
+  telemetry_.RegisterHistogram("hermes_txn_latency_us", [this] {
+    return metrics_.latency_histogram().Snapshot();
+  });
+  if (kind_ == RouterKind::kHermes) {
+    const auto* router = static_cast<const core::HermesRouter*>(router_.get());
+    telemetry_.RegisterGauge("hermes_fusion_table_size", [router] {
+      return static_cast<int64_t>(router->fusion_table().size());
+    });
+    telemetry_.RegisterCounter("hermes_router_routed_txns_total", [router] {
+      return router->stats().routed_txns;
+    });
+    telemetry_.RegisterCounter("hermes_router_remote_reads_total", [router] {
+      return router->stats().remote_reads;
+    });
+    telemetry_.RegisterCounter("hermes_router_migrations_total", [router] {
+      return router->stats().migrations;
+    });
+    telemetry_.RegisterCounter("hermes_router_evictions_total", [router] {
+      return router->stats().evictions;
+    });
+    telemetry_.RegisterCounter("hermes_router_reroutes_total", [router] {
+      return router->stats().reroutes;
+    });
+    telemetry_.RegisterCounter("hermes_router_reorders_total", [router] {
+      return router->stats().reorders;
+    });
   }
 }
 
@@ -163,6 +265,8 @@ void Cluster::OnBatchSequenced(Batch&& batch) {
   // Membership transitions anchor to the next batch id so the replay
   // cursor applies them at the same point in the total order.
   next_expected_batch_ = batch.id + 1;
+  HERMES_TRACE(&tracer_, obs::EventKind::kBatchSequenced, kInvalidNode,
+               batch.id, static_cast<Key>(-1), batch.txns.size());
   if (batch_tap_) batch_tap_(batch);
   if (clay_) {
     for (const TxnRequest& txn : batch.txns) {
@@ -249,6 +353,11 @@ void Cluster::SubmitNextChunk() {
   chunk_in_flight_ = true;
   TxnRequest txn = std::move(chunk_queue_.front());
   chunk_queue_.pop_front();
+  HERMES_TRACE(&tracer_, obs::EventKind::kChunkMigration,
+               txn.migration_target, kInvalidTxn,
+               txn.write_set.empty() ? static_cast<Key>(-1)
+                                     : txn.write_set.front(),
+               txn.write_set.size());
   Submit(std::move(txn), [this](const TxnResult&) {
     chunk_in_flight_ = false;
     SubmitNextChunk();
@@ -421,6 +530,8 @@ void Cluster::CrashNoStall(NodeId node) {
   membership_.MarkDown(node);
   degraded_schedule_.events.push_back(MembershipEvent{
       next_expected_batch_, node, /*alive=*/false, membership_.epoch()});
+  HERMES_TRACE(&tracer_, obs::EventKind::kCrash, node, kInvalidTxn,
+               static_cast<Key>(-1), membership_.epoch());
   executor_.OnNodeDown(node);
 }
 
@@ -430,6 +541,8 @@ void Cluster::RejoinNoStall(NodeId node) {
   membership_.MarkUp(node);
   degraded_schedule_.events.push_back(MembershipEvent{
       next_expected_batch_, node, /*alive=*/true, membership_.epoch()});
+  HERMES_TRACE(&tracer_, obs::EventKind::kRejoin, node, kInvalidTxn,
+               static_cast<Key>(-1), membership_.epoch());
   // Order matters: suppressed shipments flush first (their records land
   // where ownership points), then divergent records reship, and only then
   // does the parked queue route — so a released chunk migration finds
@@ -452,6 +565,18 @@ void Cluster::SetReplayMembershipSchedule(const DegradedSchedule& schedule) {
 bool Cluster::KeyBlocked(Key key) const {
   return !membership_.alive(ownership_.Owner(key)) ||
          (!stranded_.empty() && stranded_.contains(key));
+}
+
+// First blocked key of `txn` (read set, then write set) for trace events;
+// Key(-1) when the block is membership-wide rather than key-specific.
+Key Cluster::BlockingKey(const TxnRequest& txn) const {
+  for (Key k : txn.read_set) {
+    if (KeyBlocked(k)) return k;
+  }
+  for (Key k : txn.write_set) {
+    if (KeyBlocked(k)) return k;
+  }
+  return static_cast<Key>(-1);
 }
 
 bool Cluster::TxnBlocked(const TxnRequest& txn) const {
@@ -480,7 +605,7 @@ bool Cluster::TxnBlocked(const TxnRequest& txn) const {
   return false;
 }
 
-void Cluster::ClassifyBatch(BatchId id, std::vector<TxnRequest>* txns) {
+void Cluster::ClassifyBatch(BatchId /*id*/, std::vector<TxnRequest>* txns) {
   const bool flip_aborts = !replay_abort_ids_.empty();
   if (!flip_aborts && !membership_.any_down() && stranded_.empty()) return;
 
@@ -500,19 +625,6 @@ void Cluster::ClassifyBatch(BatchId id, std::vector<TxnRequest>* txns) {
       continue;
     }
     const uint32_t epoch = membership_.epoch();
-    if (trace_key_ != kInvalidTxn) {
-      for (Key k : txn.write_set) {
-        if (k != trace_key_) continue;
-        std::fprintf(stderr,
-                     "[%llu] txn %llu blocked in batch %llu (key=%llu "
-                     "epoch=%u kind=%d)\n",
-                     static_cast<unsigned long long>(sim_.Now()),
-                     static_cast<unsigned long long>(txn.id),
-                     static_cast<unsigned long long>(id),
-                     static_cast<unsigned long long>(k), epoch,
-                     static_cast<int>(txn.kind));
-      }
-    }
     if (txn.kind == TxnKind::kRegular) {
       if (replaying_) continue;  // its retry appears later in the log
       TxnExecutor::CommitCallback cb = ResolveCallback(txn);
@@ -520,6 +632,8 @@ void Cluster::ClassifyBatch(BatchId id, std::vector<TxnRequest>* txns) {
     } else {
       // Chunk migrations and provisioning markers park: they are not
       // client-visible and must run exactly once, after the outage.
+      HERMES_TRACE(&tracer_, obs::EventKind::kPark, kInvalidNode, txn.id,
+                   BlockingKey(txn), epoch);
       degraded_ledger_.RecordPark(txn.id, epoch);
       parked_.push_back(ParkedTxn{std::move(txn), epoch});
     }
@@ -550,6 +664,8 @@ void Cluster::ScheduleRetryOrFail(TxnRequest txn,
     // client one network hop from now. The transaction performed no
     // writes (it never dispatched, or was UNDO-aborted un-acked), so
     // dropping it loses nothing.
+    HERMES_TRACE(&tracer_, obs::EventKind::kUnavailable, kInvalidNode,
+                 blocked_id, BlockingKey(txn), txn.attempt);
     degraded_ledger_.RecordRetry(
         RetryRecord{blocked_id, retry_of, txn.attempt, epoch, 0, true});
     TxnResult result;
@@ -562,6 +678,9 @@ void Cluster::ScheduleRetryOrFail(TxnRequest txn,
     return;
   }
   const SimTime delay = RetryDelay(retry_of, txn.attempt);
+  HERMES_TRACE_SPAN(&tracer_, obs::EventKind::kRetry, kInvalidNode,
+                    blocked_id, BlockingKey(txn), sim_.Now(), delay,
+                    txn.attempt);
   degraded_ledger_.RecordRetry(
       RetryRecord{blocked_id, retry_of, txn.attempt, epoch, delay, false});
   txn.attempt += 1;
@@ -584,6 +703,11 @@ void Cluster::OnWatchdogAbort(TxnRequest txn, TxnExecutor::CommitCallback cb,
   rec.txn = txn.id;
   rec.stranded = stranded;
   degraded_schedule_.aborts.push_back(std::move(rec));
+  if (HERMES_TRACE_ACTIVE(&tracer_)) {
+    for (Key k : stranded) {
+      tracer_.Record(obs::EventKind::kStranded, kInvalidNode, txn.id, k);
+    }
+  }
   for (Key k : stranded) stranded_.insert(k);
   const uint32_t epoch = membership_.epoch();
   if (txn.kind == TxnKind::kRegular) {
@@ -679,6 +803,14 @@ std::string Cluster::DegradedDebugString() const {
     out += buf;
   }
   return out;
+}
+
+std::string Cluster::TraceJson() const {
+  return obs::ChromeTraceJson(tracer_, config_.workers_per_node);
+}
+
+bool Cluster::DumpTrace(const std::string& path) const {
+  return obs::WriteChromeTrace(tracer_, path, config_.workers_per_node);
 }
 
 }  // namespace hermes::engine

@@ -21,6 +21,8 @@
 #include "engine/node.h"
 #include "engine/scheduler.h"
 #include "engine/sequencer.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "partition/partition_map.h"
 #include "routing/clay_planner.h"
 #include "routing/router.h"
@@ -241,6 +243,33 @@ class Cluster {
   /// fault::InvariantMonitor compares the two.
   const DecisionDigest& placement_digest() const { return placement_digest_; }
 
+  // --- Observability (src/obs/, DESIGN.md "Observability"). ---
+
+  /// The cluster's structured tracer. Enabled via ObsConfig::trace_enabled
+  /// or the HERMES_TRACE env var; HERMES_TRACE_KEY mirrors one key's
+  /// events to stderr through the same stream. Strictly passive: nothing
+  /// in the cluster reads it back into a decision.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
+  /// Named counters/gauges/histograms over the live engine state, with
+  /// deterministic sorted export (TelemetryText()).
+  obs::Registry& telemetry() { return telemetry_; }
+  const obs::Registry& telemetry() const { return telemetry_; }
+
+  /// FNV-1a digest over the ordered trace-event stream (same pattern as
+  /// decision_digest): two traced runs match iff they recorded identical
+  /// event histories. The trace itself is a determinism oracle —
+  /// trace_determinism_test asserts it across HERMES_HASH_SALT values.
+  const DecisionDigest& trace_digest() const { return tracer_.digest(); }
+
+  /// Renders the trace as Chrome trace_event JSON (Perfetto-loadable).
+  std::string TraceJson() const;
+  /// Writes TraceJson() to `path`; false on I/O error.
+  bool DumpTrace(const std::string& path) const;
+  /// Prometheus text exposition of the telemetry registry.
+  std::string TelemetryText() const { return telemetry_.PrometheusText(); }
+
  private:
   /// One transaction waiting out an outage in the parking queue.
   struct ParkedTxn {
@@ -267,6 +296,7 @@ class Cluster {
   void ClassifyBatch(BatchId id, std::vector<TxnRequest>* txns);
   bool KeyBlocked(Key key) const;
   bool TxnBlocked(const TxnRequest& txn) const;
+  Key BlockingKey(const TxnRequest& txn) const;
   /// Deterministic retry slot: min(base << attempt, cap) plus a jitter
   /// drawn as Mix64(retry_of, attempt) — a pure function of (txn id,
   /// attempt, config), never wall clock or hash order.
@@ -289,12 +319,20 @@ class Cluster {
   /// stranded sets whose from_batch <= `id`, in recorded order.
   void ApplyScheduledEventsBefore(BatchId id);
 
+  /// Registers every telemetry metric (closures over live fields); runs
+  /// once at the end of construction.
+  void RegisterTelemetry();
+
   ClusterConfig config_;
   RouterKind kind_;
   /// Declared before sim_/scheduler_ so the components it is wired into
   /// outlive none of their digest writes.
   DecisionDigest digest_;
   DecisionDigest placement_digest_;
+  /// Declared with the digests, before every component that holds a
+  /// pointer into it, for the same lifetime reason.
+  obs::Tracer tracer_;
+  obs::Registry telemetry_;
   sim::Simulator sim_;
   Metrics metrics_;
   sim::Network net_;
@@ -345,9 +383,6 @@ class Cluster {
   /// Transactions the replay must flip to §4.2 user aborts (contains-only
   /// lookups; never iterated).
   HashSet<TxnId> replay_abort_ids_;
-  /// HERMES_TRACE_KEY mirror: classification decisions for transactions
-  /// touching this key are traced to stderr.
-  Key trace_key_ = kInvalidTxn;
 };
 
 }  // namespace hermes::engine

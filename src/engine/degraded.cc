@@ -29,12 +29,12 @@ std::string DegradedLedger::DebugString() const {
                 "degraded: parked=%llu retries=%llu unavailable=%llu "
                 "watchdog_aborts=%llu reclaims=%llu reships=%llu "
                 "retry_digest=%016llx\n",
-                static_cast<unsigned long long>(parked_total_),
-                static_cast<unsigned long long>(retries_scheduled_),
-                static_cast<unsigned long long>(unavailable_aborts_),
-                static_cast<unsigned long long>(watchdog_aborts_),
-                static_cast<unsigned long long>(reclaims_),
-                static_cast<unsigned long long>(reships_),
+                static_cast<unsigned long long>(parked_total_.value()),
+                static_cast<unsigned long long>(retries_scheduled_.value()),
+                static_cast<unsigned long long>(unavailable_aborts_.value()),
+                static_cast<unsigned long long>(watchdog_aborts_.value()),
+                static_cast<unsigned long long>(reclaims_.value()),
+                static_cast<unsigned long long>(reships_.value()),
                 static_cast<unsigned long long>(RetryDigest()));
   out += buf;
   // Transcript entries are already in classification order (a total

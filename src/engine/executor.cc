@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -20,16 +19,21 @@ std::vector<Key> SortedUnique(std::vector<Key> keys) {
   return keys;
 }
 
+/// Packs one planned access into a TraceEvent arg: new-owner node in the
+/// high bits, write/ship flags in the low two.
+uint64_t PackAccessArg(const routing::Access& acc) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(acc.new_owner)) << 2) |
+         (acc.is_write ? 2u : 0u) | (acc.ship_to_master ? 1u : 0u);
+}
+
+constexpr Key kNoKey = static_cast<Key>(-1);
+
 }  // namespace
 
 TxnExecutor::TxnExecutor(sim::Simulator* sim, sim::Network* net,
                          Metrics* metrics, const CostModel* costs,
                          std::vector<std::unique_ptr<Node>>* nodes)
-    : sim_(sim), net_(net), metrics_(metrics), costs_(costs), nodes_(nodes) {
-  if (const char* env = std::getenv("HERMES_TRACE_KEY")) {
-    trace_key_ = std::strtoull(env, nullptr, 10);
-  }
-}
+    : sim_(sim), net_(net), metrics_(metrics), costs_(costs), nodes_(nodes) {}
 
 TxnExecutor::NodeState* TxnExecutor::StateFor(Active& a, NodeId node) {
   for (auto& [id, state] : a.nodes) {
@@ -55,17 +59,12 @@ bool TxnExecutor::IsMaster(const Active& a, NodeId node) const {
 void TxnExecutor::Dispatch(const RoutedTxn& plan, CommitCallback on_commit) {
   const TxnId id = plan.txn.id;
   assert(!plan.masters.empty());
-  if (trace_key_ != kInvalidTxn) {
+  if (HERMES_TRACE_ACTIVE(tracer_)) {
+    tracer_->Record(obs::EventKind::kTxnDispatch, plan.masters[0], id, kNoKey,
+                    plan.accesses.size());
     for (const auto& acc : plan.accesses) {
-      if (acc.key != trace_key_) continue;
-      std::fprintf(stderr,
-                   "[%llu] txn %llu dispatch key=%llu owner=%d w=%d ship=%d "
-                   "new=%d master=%d\n",
-                   static_cast<unsigned long long>(sim_->Now()),
-                   static_cast<unsigned long long>(id),
-                   static_cast<unsigned long long>(acc.key), acc.owner,
-                   acc.is_write, acc.ship_to_master, acc.new_owner,
-                   plan.masters[0]);
+      tracer_->Record(obs::EventKind::kAccess, acc.owner, id, acc.key,
+                      PackAccessArg(acc));
     }
   }
   auto owned_active = std::make_unique<Active>();
@@ -293,13 +292,8 @@ void TxnExecutor::FinishParticipant(Active& a, NodeId node) {
     if (!migrates) continue;
     auto rec = src.store().Extract(acc.key);
     assert(rec.has_value() && "migrating a record that is not present");
-    if (trace_key_ == acc.key) {
-      std::fprintf(stderr, "[%llu] txn %llu extract key=%llu at node %d -> %d\n",
-                   static_cast<unsigned long long>(sim_->Now()),
-                   static_cast<unsigned long long>(a.plan.txn.id),
-                   static_cast<unsigned long long>(acc.key), node,
-                   acc.new_owner);
-    }
+    HERMES_TRACE(tracer_, obs::EventKind::kRecordExtract, node, a.plan.txn.id,
+                 acc.key, static_cast<uint32_t>(acc.new_owner));
     Shipment& s = shipments[acc.new_owner];
     s.moves.emplace_back(acc.key, *rec);
     s.bytes += costs_->record_bytes;
@@ -456,6 +450,8 @@ void TxnExecutor::Acknowledge(Active& a) {
   for (const routing::ReturnShipment& r : a.plan.on_commit_returns) {
     auto rec = NodeAt(r.from).store().Extract(r.key);
     assert(rec.has_value() && "returning a record that is not present");
+    HERMES_TRACE(tracer_, obs::EventKind::kRecordExtract, r.from,
+                 a.plan.txn.id, r.key, static_cast<uint32_t>(r.to));
     TrackInFlight(r.key, r.from, r.to, a.plan.txn.id, *rec);
     ++returns;
     send_work[r.from] += costs_->storage_op_us;
@@ -497,20 +493,39 @@ void TxnExecutor::Acknowledge(Active& a) {
   result.latency.remote_wait_us = a.remote_wait_us;
   result.latency.storage_us = a.exec_us;
 
+  // Phase spans: the lifecycle timeline of §2.1, laid end to end from
+  // submit time. Purely derived from the latency breakdown computed above.
+  const NodeId master = a.plan.masters[0];
+  if (HERMES_TRACE_ACTIVE(tracer_)) {
+    const TxnId tid = a.plan.txn.id;
+    SimTime at = a.plan.txn.submit_time;
+    tracer_->RecordSpan(obs::EventKind::kPhaseSequence, master, tid, kNoKey,
+                        at, result.latency.scheduling_us);
+    at += result.latency.scheduling_us;
+    tracer_->RecordSpan(obs::EventKind::kPhaseLockWait, master, tid, kNoKey,
+                        at, result.latency.lock_wait_us);
+    at += result.latency.lock_wait_us;
+    tracer_->RecordSpan(obs::EventKind::kPhaseRemoteWait, master, tid, kNoKey,
+                        at, result.latency.remote_wait_us);
+    at += result.latency.remote_wait_us;
+    tracer_->RecordSpan(obs::EventKind::kPhaseExecute, master, tid, kNoKey,
+                        at, result.latency.storage_us);
+  }
+
   const bool regular = a.plan.txn.kind == TxnKind::kRegular;
   CommitCallback cb = std::move(a.on_commit);
   const SimTime submit = a.plan.txn.submit_time;
   if (result.aborted) {
-    ++aborted_;
+    aborted_.Add();
   } else {
-    ++committed_;
+    committed_.Add();
   }
   a.acked = true;
 
   // Client acknowledgment is one network hop away.
   const SimTime ack_delay = costs_->net_latency_us;
   sim_->Schedule(ack_delay, [this, result, cb = std::move(cb), submit,
-                             regular]() mutable {
+                             regular, master]() mutable {
     result.latency.total_us = sim_->Now() > submit ? sim_->Now() - submit : 0;
     const SimTime accounted =
         result.latency.scheduling_us + result.latency.lock_wait_us +
@@ -523,6 +538,10 @@ void TxnExecutor::Acknowledge(Active& a) {
       metrics_->RecordCommit(sim_->Now(), result.latency, result.distributed,
                              result.aborted);
     }
+    HERMES_TRACE(tracer_,
+                 result.aborted ? obs::EventKind::kTxnAbort
+                                : obs::EventKind::kTxnCommit,
+                 master, result.id, kNoKey, result.latency.total_us);
     if (cb) cb(result);
   });
 }
@@ -642,12 +661,8 @@ void TxnExecutor::DeliverRecord(NodeId node, Key key,
     InFlightRecord& entry = it->second;
     if (entry.suppressed) return;
     entry.suppressed = true;
-    if (trace_key_ == key) {
-      std::fprintf(stderr,
-                   "[%llu] suppress deliver key=%llu at dead node %d\n",
-                   static_cast<unsigned long long>(sim_->Now()),
-                   static_cast<unsigned long long>(key), node);
-    }
+    HERMES_TRACE(tracer_, obs::EventKind::kRecordSuppress, node, entry.txn,
+                 key);
     // Freeze the carrying transaction: its shipment will never complete.
     const TxnId carrier = entry.txn;
     auto at = actives_.find(carrier);
@@ -663,19 +678,18 @@ void TxnExecutor::DeliverRecord(NodeId node, Key key,
       inflight_records_.erase(rit);
       displaced_[key] = e.from;
       if (ledger_ != nullptr) ledger_->RecordReclaim();
-      if (trace_key_ == key) {
-        std::fprintf(stderr, "[%llu] reclaim key=%llu back to node %d\n",
-                     static_cast<unsigned long long>(sim_->Now()),
-                     static_cast<unsigned long long>(key), e.from);
-      }
+      HERMES_TRACE(tracer_, obs::EventKind::kRecordReclaim, e.from, carrier,
+                   key);
       DeliverRecord(e.from, key, e.record);
     });
     return;
   }
-  if (trace_key_ == key) {
-    std::fprintf(stderr, "[%llu] deliver key=%llu at node %d\n",
-                 static_cast<unsigned long long>(sim_->Now()),
-                 static_cast<unsigned long long>(key), node);
+  if (HERMES_TRACE_ACTIVE(tracer_)) {
+    auto carrier = inflight_records_.find(key);
+    tracer_->Record(obs::EventKind::kRecordDeliver, node,
+                    carrier != inflight_records_.end() ? carrier->second.txn
+                                                       : kInvalidTxn,
+                    key);
   }
   inflight_records_.erase(key);
   NodeAt(node).store().Insert(key, record);
@@ -756,15 +770,9 @@ void TxnExecutor::AbortActive(Active& a) {
   // stalling crash model instead.
   assert(a.plan.on_commit_returns.empty() &&
          "watchdog abort with return shipments is out of scope");
-  if (trace_key_ != kInvalidTxn) {
-    for (const auto& acc : a.plan.accesses) {
-      if (acc.key != trace_key_) continue;
-      std::fprintf(stderr, "[%llu] txn %llu watchdog abort (key=%llu)\n",
-                   static_cast<unsigned long long>(sim_->Now()),
-                   static_cast<unsigned long long>(id),
-                   static_cast<unsigned long long>(acc.key));
-    }
-  }
+  HERMES_TRACE(tracer_, obs::EventKind::kWatchdogAbort, a.plan.masters[0], id,
+               a.plan.accesses.empty() ? kNoKey : a.plan.accesses[0].key,
+               a.plan.accesses.size());
   // Classify every planned migration that did not complete. The router
   // updated the ownership map at routing time, so a record that never
   // moved now sits where ownership no longer points.
@@ -803,7 +811,7 @@ void TxnExecutor::AbortActive(Active& a) {
     NodeAt(node).locks().Release(id, &g);
     if (!g.empty()) grants.emplace_back(node, std::move(g));
   }
-  ++aborted_;
+  aborted_.Add();
   if (ledger_ != nullptr) ledger_->RecordWatchdogAbort();
   TxnRequest txn = a.plan.txn;
   CommitCallback cb = std::move(a.on_commit);
@@ -818,11 +826,8 @@ void TxnExecutor::AbortActive(Active& a) {
 void TxnExecutor::ReshipRecord(Key key, NodeId from, NodeId to) {
   auto rec = NodeAt(from).store().Extract(key);
   assert(rec.has_value() && "reshipping a record that is not present");
-  if (trace_key_ == key) {
-    std::fprintf(stderr, "[%llu] reship key=%llu node %d -> %d\n",
-                 static_cast<unsigned long long>(sim_->Now()),
-                 static_cast<unsigned long long>(key), from, to);
-  }
+  HERMES_TRACE(tracer_, obs::EventKind::kRecordReship, from, kInvalidTxn, key,
+               static_cast<uint32_t>(to));
   TrackInFlight(key, from, to, kInvalidTxn, *rec);
   if (ledger_ != nullptr) ledger_->RecordReship();
   NodeAt(from).workers().Submit(costs_->storage_op_us, [] {});

@@ -16,6 +16,8 @@
 #include "engine/degraded.h"
 #include "engine/metrics.h"
 #include "engine/node.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "routing/router.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -117,8 +119,12 @@ class TxnExecutor {
   /// Number of transactions currently in flight.
   size_t inflight() const { return actives_.size(); }
 
-  uint64_t committed() const { return committed_; }
-  uint64_t aborted() const { return aborted_; }
+  uint64_t committed() const { return committed_.value(); }
+  uint64_t aborted() const { return aborted_.value(); }
+
+  /// Installs the passive tracer (null = tracing off). The executor only
+  /// ever writes events into it; no execution decision reads it back.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// One record currently extracted from its source store and riding a
   /// simulated message: absent from every store until delivery.
@@ -269,8 +275,9 @@ class TxnExecutor {
 
   std::map<Key, InFlightRecord> inflight_records_;
 
-  uint64_t committed_ = 0;
-  uint64_t aborted_ = 0;
+  obs::Counter committed_;
+  obs::Counter aborted_;
+  obs::Tracer* tracer_ = nullptr;
 
   // --- Degraded-mode state (all null/empty unless EnableDegraded ran). ---
   const MembershipView* membership_ = nullptr;
@@ -288,9 +295,6 @@ class TxnExecutor {
   /// outage (reclaimed or stranded records). std::map: the rejoin
   /// reconciliation iterates it in key order.
   std::map<Key, NodeId> displaced_;
-  /// Set via the HERMES_TRACE_KEY environment variable: every plan access,
-  /// extraction and delivery touching this key is logged to stderr.
-  Key trace_key_ = kInvalidTxn;
 };
 
 }  // namespace hermes::engine

@@ -43,6 +43,17 @@ SimTime LatencyHistogram::Percentile(double q) const {
   return UpperBound(buckets_.size() - 1);
 }
 
+obs::HistogramSnapshot LatencyHistogram::Snapshot() const {
+  obs::HistogramSnapshot snap;
+  snap.count = count_;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    snap.buckets.emplace_back(UpperBound(b), buckets_[b]);
+    snap.sum += UpperBound(b) * buckets_[b];
+  }
+  return snap;
+}
+
 Metrics::Metrics(SimTime window_us) : window_us_(window_us) {
   assert(window_us_ > 0);
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/telemetry.h"
 #include "txn/transaction.h"
 
 namespace hermes::engine {
@@ -43,6 +44,11 @@ class LatencyHistogram {
   /// Latency at quantile `q` in [0, 1] (upper bound of the bucket the
   /// quantile falls into); 0 when empty.
   SimTime Percentile(double q) const;
+
+  /// Export view: (upper_bound_us, count) for every non-empty bucket,
+  /// ascending, plus totals — the telemetry registry renders this as a
+  /// Prometheus histogram.
+  obs::HistogramSnapshot Snapshot() const;
 
  private:
   static constexpr int kSubBuckets = 4;

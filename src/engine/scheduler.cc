@@ -62,7 +62,7 @@ void Scheduler::RouteParked(BatchId release_id,
 
 void Scheduler::Process(Batch&& batch, bool log) {
   if (log && config_->enable_command_log) command_log_->Append(batch);
-  if (log) ++batches_routed_;
+  if (log) batches_routed_.Add();
 
   // Classification happens after logging: the log keeps the original
   // batch, the filter is a deterministic function of (batch contents,
@@ -89,6 +89,9 @@ void Scheduler::Process(Batch&& batch, bool log) {
   const SimTime start = std::max(sim_->Now(), busy_until_);
   const SimTime dispatch_at = start + plan.routing_cost_us + log_cost;
   busy_until_ = dispatch_at;
+  HERMES_TRACE_SPAN(tracer_, obs::EventKind::kBatchRouted, kInvalidNode,
+                    batch.id, static_cast<Key>(-1), start,
+                    dispatch_at - start, batch.txns.size());
 
   auto shared_plan =
       std::make_shared<routing::RoutePlan>(std::move(plan));

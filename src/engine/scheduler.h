@@ -70,8 +70,12 @@ class Scheduler {
 
   void set_batch_filter(BatchFilter filter) { filter_ = std::move(filter); }
 
+  /// Installs the passive tracer (null = tracing off); the scheduler
+  /// emits one kBatchRouted span per routed batch.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   SimTime busy_until() const { return busy_until_; }
-  uint64_t batches_routed() const { return batches_routed_; }
+  uint64_t batches_routed() const { return batches_routed_.value(); }
 
  private:
   /// Shared tail of OnBatch / RouteParked: filter, route, digest,
@@ -88,8 +92,9 @@ class Scheduler {
   DecisionDigest* placement_digest_;
   DispatchObserver observer_;
   BatchFilter filter_;
+  obs::Tracer* tracer_ = nullptr;
   SimTime busy_until_ = 0;
-  uint64_t batches_routed_ = 0;
+  obs::Counter batches_routed_;
 };
 
 }  // namespace hermes::engine

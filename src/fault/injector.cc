@@ -93,7 +93,7 @@ void FaultInjector::MaybeRefreshCheckpoint() {
   }
   checkpoint_ = cluster_->TakeCheckpoint();
   refresh_pending_ = false;
-  ++checkpoint_refreshes_;
+  checkpoint_refreshes_.Add();
 }
 
 void FaultInjector::RunUntil(SimTime deadline) {
@@ -162,6 +162,8 @@ void FaultInjector::ApplyCrash(const FaultEvent& event) {
   RecoveryStats stats;
   stats.node = event.node;
   stats.crash_at = Now();
+  HERMES_TRACE(&cluster_->tracer(), obs::EventKind::kCrash, event.node,
+               kInvalidTxn);
 
   // Stall intake and let in-flight work finish. Records already riding a
   // message toward the dying node land first (its transport buffer
@@ -212,6 +214,8 @@ void FaultInjector::ApplyRejoin(const FaultEvent& event) {
   AdvanceTo(resume_at);
   stats.resumed_at = Now();
   stats.intake_resumed_at = stats.resumed_at;  // intake was paused until now
+  HERMES_TRACE(&cluster_->tracer(), obs::EventKind::kRejoin, event.node,
+               kInvalidTxn, static_cast<Key>(-1), stats.replayed_batches);
 
   // Refresh the rebuild baseline so the next cycle replays a short
   // suffix. Submissions can trickle in during the stall; if one is mid
@@ -281,7 +285,7 @@ void FaultInjector::ApplyRejoinNoStall(const FaultEvent& event) {
 
 void FaultInjector::ApplyFailover() {
   group_->FailoverNow();
-  ++failovers_applied_;
+  failovers_applied_.Add();
 }
 
 }  // namespace hermes::fault

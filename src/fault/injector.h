@@ -12,6 +12,7 @@
 #include "fault/fault_plan.h"
 #include "fault/invariant_monitor.h"
 #include "fault/link_chaos.h"
+#include "obs/telemetry.h"
 #include "partition/partition_map.h"
 #include "storage/checkpoint.h"
 
@@ -110,13 +111,17 @@ class FaultInjector {
 
   SimTime Now() const;
   const std::vector<RecoveryStats>& recoveries() const { return recoveries_; }
-  int failovers_applied() const { return failovers_applied_; }
+  int failovers_applied() const {
+    return static_cast<int>(failovers_applied_.value());
+  }
   size_t events_applied() const { return next_event_; }
   const FaultPlan& plan() const { return plan_; }
 
   /// Deferred-refresh observability (single-cluster mode).
   bool refresh_pending() const { return refresh_pending_; }
-  int checkpoint_refreshes() const { return checkpoint_refreshes_; }
+  int checkpoint_refreshes() const {
+    return static_cast<int>(checkpoint_refreshes_.value());
+  }
   /// First batch the next replay would have to process: a refreshed
   /// checkpoint pushes this forward, shortening that replay.
   BatchId baseline_next_batch() const { return checkpoint_.next_batch; }
@@ -145,13 +150,13 @@ class FaultInjector {
   bool down_no_stall_ = false;
   SimTime drained_at_ = 0;
   std::vector<RecoveryStats> recoveries_;
-  int failovers_applied_ = 0;
+  obs::Counter failovers_applied_;
   /// Deferred checkpoint refresh (degraded mode): a no-stall rejoin under
   /// load has no quiescent point to snapshot at, so the refresh is armed
   /// and retaken at the next quiescent window instead of silently keeping
   /// the stale baseline (which would lengthen every later replay).
   bool refresh_pending_ = false;
-  int checkpoint_refreshes_ = 0;
+  obs::Counter checkpoint_refreshes_;
   bool had_no_stall_ = false;
 };
 

@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <inttypes.h>
+
+namespace hermes::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxnDispatch:
+      return "txn_dispatch";
+    case EventKind::kTxnCommit:
+      return "txn_commit";
+    case EventKind::kTxnAbort:
+      return "txn_abort";
+    case EventKind::kPhaseSequence:
+      return "phase_sequence";
+    case EventKind::kPhaseLockWait:
+      return "phase_lock_wait";
+    case EventKind::kPhaseRemoteWait:
+      return "phase_remote_wait";
+    case EventKind::kPhaseExecute:
+      return "phase_execute";
+    case EventKind::kBatchSequenced:
+      return "batch_sequenced";
+    case EventKind::kBatchRouted:
+      return "batch_routed";
+    case EventKind::kAccess:
+      return "access";
+    case EventKind::kRecordExtract:
+      return "record_extract";
+    case EventKind::kRecordDeliver:
+      return "record_deliver";
+    case EventKind::kRecordSuppress:
+      return "record_suppress";
+    case EventKind::kRecordReclaim:
+      return "record_reclaim";
+    case EventKind::kRecordReship:
+      return "record_reship";
+    case EventKind::kFusionEvict:
+      return "fusion_evict";
+    case EventKind::kChunkMigration:
+      return "chunk_migration";
+    case EventKind::kNodeProvision:
+      return "node_provision";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kRejoin:
+      return "rejoin";
+    case EventKind::kWatchdogAbort:
+      return "watchdog_abort";
+    case EventKind::kStranded:
+      return "stranded";
+    case EventKind::kPark:
+      return "park";
+    case EventKind::kRetry:
+      return "retry";
+    case EventKind::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+bool IsSpan(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPhaseSequence:
+    case EventKind::kPhaseLockWait:
+    case EventKind::kPhaseRemoteWait:
+    case EventKind::kPhaseExecute:
+    case EventKind::kBatchRouted:
+    case EventKind::kRetry:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<TraceEvent> TraceRing::InOrder() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    out.push_back(events[(head_ + i) % events.size()]);
+  }
+  return out;
+}
+
+void Tracer::Configure(size_t ring_capacity) {
+  ring_capacity_ = ring_capacity > 0 ? ring_capacity : 1;
+  rings_.clear();
+  next_seq_ = 0;
+  digest_.Reset();
+}
+
+TraceRing& Tracer::RingFor(NodeId node) {
+  const size_t idx = node == kInvalidNode ? 0 : static_cast<size_t>(node) + 1;
+  while (rings_.size() <= idx) {
+    rings_.emplace_back(ring_capacity_);
+  }
+  return rings_[idx];
+}
+
+void Tracer::Emit(EventKind kind, NodeId node, TxnId txn, Key key,
+                  uint64_t arg, SimTime when, SimTime dur) {
+  TraceEvent e;
+  e.when = when;
+  e.dur = dur;
+  e.seq = next_seq_++;
+  e.txn = txn;
+  e.key = key;
+  e.arg = arg;
+  e.node = node;
+  e.kind = kind;
+  if (enabled_) {
+    digest_.Mix(static_cast<uint64_t>(e.kind));
+    digest_.Mix(e.when);
+    digest_.Mix(e.dur);
+    digest_.Mix(static_cast<uint64_t>(static_cast<int64_t>(e.node)));
+    digest_.Mix(e.txn);
+    digest_.Mix(e.key);
+    digest_.Mix(e.arg);
+    RingFor(node).Push(e);
+  }
+  if (mirror_key_ != kNoMirror && key == mirror_key_) {
+    std::fprintf(stderr,
+                 "[trace %" PRIu64 "us] %s txn=%" PRIu64 " key=%" PRIu64
+                 " node=%d arg=%" PRIu64 "\n",
+                 e.when, EventKindName(kind), e.txn, e.key,
+                 static_cast<int>(e.node), e.arg);
+  }
+}
+
+uint64_t Tracer::total_recorded() const {
+  uint64_t n = 0;
+  for (const auto& r : rings_) n += r.recorded;
+  return n;
+}
+
+uint64_t Tracer::total_dropped() const {
+  uint64_t n = 0;
+  for (const auto& r : rings_) n += r.dropped;
+  return n;
+}
+
+}  // namespace hermes::obs

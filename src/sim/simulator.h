@@ -20,6 +20,11 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
+  /// Stable pointer to the virtual clock, for passive observers (the
+  /// obs::Tracer timestamps events through it without a Simulator
+  /// dependency in the hot path).
+  const SimTime* now_handle() const { return &now_; }
+
   /// Schedules `fn` to run `delay` microseconds from now.
   void Schedule(SimTime delay, std::function<void()> fn);
 

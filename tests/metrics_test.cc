@@ -120,5 +120,71 @@ TEST(MetricsTest, HistogramTracksCommitTotals) {
   EXPECT_EQ(m.latency_histogram().count(), 1u);
 }
 
+TEST(LatencyHistogramTest, EmptyHistogramPercentilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 0u);
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondClampsToFirstBucket) {
+  // The histogram covers 1 us up; a 0 us latency (possible for a local
+  // read that never waits) lands in the first bucket, not out of range.
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.Percentile(1.0), 2u);
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.buckets.size(), 1u);
+  EXPECT_EQ(snap.buckets[0].second, 2u);
+}
+
+TEST(LatencyHistogramTest, BeyondTopBandClampsToLastBand) {
+  // Values past the ~1100 s top band all share the last band instead of
+  // indexing out of bounds; ordering against smaller values survives.
+  LatencyHistogram h;
+  h.Record(1ULL << 40);
+  h.Record(kSimTimeMax);
+  h.Record(10);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GE(h.Percentile(1.0), 1ULL << 30);
+  EXPECT_LE(h.Percentile(0.0), 13u);
+}
+
+TEST(LatencyHistogramTest, ZeroAndOneQuantilesBracketTheData) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(100);
+  h.Record(1000);
+  // q=0 is the smallest bucket's upper bound, q=1 the largest's; both
+  // within one bucket width (25%) of the true extremes.
+  EXPECT_GE(h.Percentile(0.0), 10u);
+  EXPECT_LE(h.Percentile(0.0), 13u);
+  EXPECT_GE(h.Percentile(1.0), 1000u);
+  EXPECT_LE(h.Percentile(1.0), 1300u);
+  EXPECT_GE(h.Percentile(1.0), h.Percentile(0.999));
+}
+
+TEST(LatencyHistogramTest, SnapshotMatchesRecordedCounts) {
+  LatencyHistogram h;
+  for (int i = 0; i < 5; ++i) h.Record(100);
+  for (int i = 0; i < 3; ++i) h.Record(5'000);
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 8u);
+  ASSERT_EQ(snap.buckets.size(), 2u);
+  // Ascending bounds, per-bucket (not cumulative) counts; the Prometheus
+  // exporter does the cumulative sum.
+  EXPECT_LT(snap.buckets[0].first, snap.buckets[1].first);
+  EXPECT_EQ(snap.buckets[0].second, 5u);
+  EXPECT_EQ(snap.buckets[1].second, 3u);
+  EXPECT_EQ(snap.sum, snap.buckets[0].first * 5 + snap.buckets[1].first * 3);
+}
+
 }  // namespace
 }  // namespace hermes::engine

@@ -1,0 +1,247 @@
+// Trace determinism: the observability subsystem must be as deterministic
+// as the decisions it observes. A seeded workload traced under several
+// hash salts must produce a bit-identical trace digest, byte-identical
+// Chrome trace_event JSON, and byte-identical Prometheus text — and a
+// traced run's decision digest must equal an untraced run's (passivity:
+// attaching the tracer changes nothing). Chaos and degraded-mode seeds get
+// the same treatment so fault-path events are covered too.
+//
+// Prints `SALT 0x... TRACE_DIGEST ...` lines; scripts/check_determinism.sh
+// reruns this binary under several HERMES_HASH_SALT env values and
+// requires every printed digest to match across processes as well.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "engine/cluster.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "partition/partition_map.h"
+#include "workload/client.h"
+#include "workload/ycsb.h"
+
+namespace hermes {
+namespace {
+
+using engine::Cluster;
+using engine::RouterKind;
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::FaultPlanConfig;
+
+std::vector<uint64_t> PerturbationSalts() {
+  return {HashSalt(), 0x9e3779b97f4a7c15ULL, 0xdeadbeefcafef00dULL};
+}
+
+struct TracedRun {
+  uint64_t decision_digest = 0;
+  uint64_t trace_digest = 0;
+  uint64_t trace_count = 0;
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  std::string trace_json;
+  std::string telemetry;
+};
+
+ClusterConfig BaseConfig(bool traced) {
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.num_records = 6'000;
+  config.hermes.fusion_table_capacity = 250;
+  config.obs.trace_enabled = traced;
+  return config;
+}
+
+FaultInjector::MapFactory MapFactory(const ClusterConfig& config) {
+  const uint64_t records = config.num_records;
+  const int nodes = config.num_nodes;
+  return [records, nodes] {
+    return std::make_unique<partition::RangePartitionMap>(records, nodes);
+  };
+}
+
+/// Healthy-cluster run: skewed YCSB plus a mid-run scale-out so the trace
+/// covers routing, phase spans, evictions and chunk migrations.
+TracedRun RunHealthy(bool traced) {
+  ClusterConfig config = BaseConfig(traced);
+  config.migration_chunk_records = 300;
+  Cluster cluster(config, RouterKind::kHermes, MapFactory(config)());
+  cluster.Load();
+
+  workload::YcsbConfig wl;
+  wl.num_records = config.num_records;
+  wl.num_partitions = config.num_nodes;
+  wl.seed = 20'260'805;
+  workload::YcsbWorkload gen(wl, nullptr);
+  workload::ClosedLoopDriver driver(
+      &cluster, 8, [&gen](int, SimTime now) { return gen.Next(now); });
+  driver.set_stop_time(MsToSim(300));
+  driver.Start();
+
+  cluster.RunUntil(MsToSim(100));
+  cluster.AddNode({{0, config.num_records / 4 - 1, 3}},
+                  /*migrate_cold=*/true);
+  cluster.RunUntil(MsToSim(300));
+  cluster.Drain();
+
+  TracedRun r;
+  r.decision_digest = cluster.decision_digest().value();
+  r.trace_digest = cluster.trace_digest().value();
+  r.trace_count = cluster.trace_digest().count();
+  r.events = cluster.tracer().total_recorded();
+  r.dropped = cluster.tracer().total_dropped();
+  r.trace_json = cluster.TraceJson();
+  r.telemetry = cluster.TelemetryText();
+  return r;
+}
+
+/// Fault run: seeded crash/rejoin plus link chaos (stall mode or degraded
+/// no-stall mode) so crash, rejoin, park, retry, suppress and reclaim
+/// events enter the trace.
+TracedRun RunFaulted(uint64_t plan_seed, bool no_stall) {
+  ClusterConfig config = BaseConfig(/*traced=*/true);
+  if (no_stall) config.migration_chunk_records = 300;
+  Cluster cluster(config, RouterKind::kHermes, MapFactory(config)());
+  cluster.Load();
+
+  FaultPlanConfig pc;
+  pc.horizon_us = MsToSim(120);
+  pc.num_nodes = config.num_nodes;
+  pc.crash_cycles = 1;
+  pc.min_outage_us = MsToSim(10);
+  pc.max_outage_us = MsToSim(40);
+  pc.no_stall = no_stall;
+  pc.link.drop_prob = 0.05;
+  pc.link.duplicate_prob = 0.03;
+  pc.link.max_jitter_us = 300;
+  const FaultPlan plan = FaultPlan::Generate(pc, plan_seed);
+  FaultInjector injector(&cluster, plan, MapFactory(config));
+
+  workload::YcsbConfig wl;
+  wl.num_records = config.num_records;
+  wl.num_partitions = config.num_nodes;
+  wl.seed = Mix64(plan_seed ^ 0x5c5bULL);
+  workload::YcsbWorkload gen(wl, nullptr);
+  workload::ClosedLoopDriver driver(
+      &cluster, 8, [&gen](int, SimTime now) { return gen.Next(now); });
+  driver.set_stop_time(MsToSim(120));
+  driver.Start();
+
+  if (no_stall) {
+    injector.RunUntil(MsToSim(15));
+    const Key lo =
+        Mix64(plan_seed ^ 0x6d1eULL) % (config.num_records - 1'500);
+    const NodeId target =
+        static_cast<NodeId>(Mix64(plan_seed ^ 0x3a7fULL) % config.num_nodes);
+    cluster.SubmitMigrationPlan({{lo, lo + 1'199, target}});
+  }
+  injector.RunUntil(MsToSim(120));
+  injector.Drain();
+
+  TracedRun r;
+  r.decision_digest = cluster.decision_digest().value();
+  r.trace_digest = cluster.trace_digest().value();
+  r.trace_count = cluster.trace_digest().count();
+  r.events = cluster.tracer().total_recorded();
+  r.dropped = cluster.tracer().total_dropped();
+  r.trace_json = cluster.TraceJson();
+  r.telemetry = cluster.TelemetryText();
+  return r;
+}
+
+TEST(TraceDeterminismTest, TraceBitIdenticalAcrossSalts) {
+  const uint64_t old_salt = HashSalt();
+  const std::vector<uint64_t> salts = PerturbationSalts();
+  std::vector<TracedRun> runs;
+  for (uint64_t salt : salts) {
+    SetHashSalt(salt);
+    runs.push_back(RunHealthy(/*traced=*/true));
+    std::printf("SALT 0x%016llx TRACE_DIGEST %016llx count=%llu "
+                "events=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(salt),
+                static_cast<unsigned long long>(runs.back().trace_digest),
+                static_cast<unsigned long long>(runs.back().trace_count),
+                static_cast<unsigned long long>(runs.back().events),
+                static_cast<unsigned long long>(runs.back().dropped));
+  }
+  SetHashSalt(old_salt);
+
+  ASSERT_GT(runs[0].events, 1'000u) << "trace too thin to mean anything";
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].trace_digest, runs[i].trace_digest)
+        << "salt 0x" << std::hex << salts[i]
+        << " changed the trace: some event consults hash order";
+    EXPECT_EQ(runs[0].trace_count, runs[i].trace_count);
+    EXPECT_EQ(runs[0].trace_json, runs[i].trace_json)
+        << "Chrome trace export not byte-identical under salt 0x"
+        << std::hex << salts[i];
+    EXPECT_EQ(runs[0].telemetry, runs[i].telemetry)
+        << "Prometheus export not byte-identical under salt 0x" << std::hex
+        << salts[i];
+  }
+}
+
+TEST(TraceDeterminismTest, TracingIsPassive) {
+  // Same seeded workload with and without the tracer: identical decision
+  // digests. This is the contract detlint's obs-decision rule audits
+  // statically — here it is proven at run time.
+  const TracedRun traced = RunHealthy(/*traced=*/true);
+  const TracedRun untraced = RunHealthy(/*traced=*/false);
+  EXPECT_EQ(traced.decision_digest, untraced.decision_digest)
+      << "attaching the tracer changed a decision";
+  EXPECT_EQ(untraced.events, 0u) << "disabled tracer recorded events";
+  EXPECT_EQ(untraced.trace_count, 0u);
+}
+
+TEST(TraceDeterminismTest, ChaosSeedProducesValidDeterministicTrace) {
+  const uint64_t old_salt = HashSalt();
+  const std::vector<uint64_t> salts = PerturbationSalts();
+  std::vector<TracedRun> runs;
+  for (uint64_t salt : salts) {
+    SetHashSalt(salt);
+    runs.push_back(RunFaulted(20'260'000, /*no_stall=*/false));
+  }
+  SetHashSalt(old_salt);
+
+  ASSERT_GT(runs[0].events, 100u);
+  // crash + rejoin made it into the stream.
+  EXPECT_NE(runs[0].trace_json.find("\"crash\""), std::string::npos);
+  EXPECT_NE(runs[0].trace_json.find("\"rejoin\""), std::string::npos);
+  // Loadable shape: opens as a trace_event container, closes cleanly.
+  EXPECT_EQ(runs[0].trace_json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(runs[0].trace_json.find("\"otherData\""), std::string::npos);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].trace_digest, runs[i].trace_digest);
+    EXPECT_EQ(runs[0].trace_json, runs[i].trace_json);
+    EXPECT_EQ(runs[0].telemetry, runs[i].telemetry);
+  }
+}
+
+TEST(TraceDeterminismTest, DegradedSeedProducesValidDeterministicTrace) {
+  const uint64_t old_salt = HashSalt();
+  const std::vector<uint64_t> salts = PerturbationSalts();
+  std::vector<TracedRun> runs;
+  for (uint64_t salt : salts) {
+    SetHashSalt(salt);
+    runs.push_back(RunFaulted(20'260'003, /*no_stall=*/true));
+  }
+  SetHashSalt(old_salt);
+
+  ASSERT_GT(runs[0].events, 100u);
+  EXPECT_NE(runs[0].trace_json.find("\"crash\""), std::string::npos);
+  EXPECT_NE(runs[0].trace_json.find("\"rejoin\""), std::string::npos);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].trace_digest, runs[i].trace_digest);
+    EXPECT_EQ(runs[0].trace_json, runs[i].trace_json);
+    EXPECT_EQ(runs[0].telemetry, runs[i].telemetry);
+  }
+}
+
+}  // namespace
+}  // namespace hermes

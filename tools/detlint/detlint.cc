@@ -22,6 +22,14 @@
 //                    as the virtual-time authority)
 //   pointer-order    ordered containers or comparators keyed on pointer
 //                    values (allocation-address order is nondeterministic)
+//   obs-decision     tracer/telemetry state feeding a decision: a return
+//                    expression or if/while condition in src/core/ or
+//                    src/routing/ that mentions obs::, a tracer, or a
+//                    HERMES_TRACE symbol. Observability is write-only by
+//                    contract (DESIGN.md "Observability"); routing and
+//                    eviction must behave identically with tracing on,
+//                    off, or absent. A bare HERMES_TRACE_ACTIVE(...) guard
+//                    is exempt — it only gates event emission.
 //
 // A finding is suppressed by an annotation on the same line or the line
 // directly above:
@@ -331,6 +339,43 @@ class Linter {
                    raw);
       }
     }
+
+    // Observability feeding decisions (src/core/ and src/routing/ only):
+    // routing, eviction and migration planning must compute the same
+    // answer whether a tracer is attached or not, so tracer/telemetry
+    // symbols may never appear in a return expression or a branch
+    // condition there. Emission itself (HERMES_TRACE(...) as a statement,
+    // or a bare HERMES_TRACE_ACTIVE(...) guard around one) is fine.
+    if (f.path.find("src/core/") != std::string::npos ||
+        f.path.find("src/routing/") != std::string::npos) {
+      static const std::regex kObsSym(
+          R"(\bobs\s*::|\btracer|\bHERMES_TRACE)");
+      static const std::regex kObsReturn(
+          R"(\breturn\b[^;{}]*(?:\bobs\s*::|\btracer|\bHERMES_TRACE))");
+      scan_regex(kObsReturn, "obs-decision");
+      static const std::regex kCondOpen(R"(\b(?:if|while)\s*\()");
+      static const std::regex kActiveGuard(
+          R"(\s*!?\s*HERMES_TRACE_ACTIVE\s*\([^()]*\)\s*)");
+      for (auto it =
+               std::sregex_iterator(text.begin(), text.end(), kCondOpen);
+           it != std::sregex_iterator(); ++it) {
+        const size_t open =
+            static_cast<size_t>(it->position()) + it->length() - 1;
+        size_t pos = open + 1;
+        int depth = 1;
+        while (pos < text.size() && depth > 0) {
+          if (text[pos] == '(') ++depth;
+          if (text[pos] == ')') --depth;
+          ++pos;
+        }
+        if (depth != 0) continue;
+        const std::string cond = text.substr(open + 1, pos - 1 - (open + 1));
+        if (!std::regex_search(cond, kObsSym)) continue;
+        if (std::regex_match(cond, kActiveGuard)) continue;
+        AddFinding(f, static_cast<size_t>(it->position()), "obs-decision",
+                   raw);
+      }
+    }
   }
 
   std::vector<Finding> findings_;
@@ -338,7 +383,7 @@ class Linter {
 
 const std::set<std::string> kKnownRules = {
     "unordered-iter", "raw-unordered", "std-rand",     "random-device",
-    "unseeded-rng",   "wall-clock",    "pointer-order"};
+    "unseeded-rng",   "wall-clock",    "pointer-order", "obs-decision"};
 
 }  // namespace
 
