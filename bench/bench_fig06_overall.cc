@@ -51,27 +51,33 @@ std::unique_ptr<hermes::partition::PartitionMap> TrainSchism(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = hermes::bench::ParseThreadsFlag(argc, argv);
+  auto base = [threads] {
+    GoogleRunParams params;
+    params.sim_threads = threads;
+    return params;
+  };
   std::printf("Fig. 6 reproduction: overall throughput under the synthetic "
-              "Google workload\n");
+              "Google workload (sim threads: %d)\n", threads);
   const GoogleRunParams defaults;
   const double window_s = defaults.window_us / 1e6;
   const size_t n = defaults.windows;
 
   // ---- (a) look-back approaches ----
-  RunResult calvin = RunGoogleWorkload(RouterKind::kCalvin, GoogleRunParams{});
-  GoogleRunParams clay_params;
+  RunResult calvin = RunGoogleWorkload(RouterKind::kCalvin, base());
+  GoogleRunParams clay_params = base();
   clay_params.enable_clay = true;
   RunResult clay = RunGoogleWorkload(RouterKind::kCalvin, std::move(clay_params));
-  GoogleRunParams schism1_params;
+  GoogleRunParams schism1_params = base();
   schism1_params.initial = TrainSchism(defaults, 1, 4);
   RunResult schism1 =
       RunGoogleWorkload(RouterKind::kCalvin, std::move(schism1_params));
-  GoogleRunParams schism2_params;
+  GoogleRunParams schism2_params = base();
   schism2_params.initial = TrainSchism(defaults, 7, 10);
   RunResult schism2 =
       RunGoogleWorkload(RouterKind::kCalvin, std::move(schism2_params));
-  RunResult hermes = RunGoogleWorkload(RouterKind::kHermes, GoogleRunParams{});
+  RunResult hermes = RunGoogleWorkload(RouterKind::kHermes, base());
 
   PrintSeriesTable(
       "Fig 6a: Hermes vs look-back approaches",
@@ -81,9 +87,9 @@ int main() {
       window_s, "committed txns per window");
 
   // ---- (b) on-line approaches ----
-  RunResult gstore = RunGoogleWorkload(RouterKind::kGStore, GoogleRunParams{});
-  RunResult tpart = RunGoogleWorkload(RouterKind::kTPart, GoogleRunParams{});
-  RunResult leap = RunGoogleWorkload(RouterKind::kLeap, GoogleRunParams{});
+  RunResult gstore = RunGoogleWorkload(RouterKind::kGStore, base());
+  RunResult tpart = RunGoogleWorkload(RouterKind::kTPart, base());
+  RunResult leap = RunGoogleWorkload(RouterKind::kLeap, base());
 
   PrintSeriesTable(
       "Fig 6b: Hermes vs on-line approaches",

@@ -16,13 +16,15 @@ using hermes::bench::GoogleRunParams;
 using hermes::bench::RunGoogleWorkload;
 using hermes::engine::RouterKind;
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = hermes::bench::ParseThreadsFlag(argc, argv);
   std::printf("Scalability: throughput vs cluster size under the Google "
-              "workload (txn/s)\n\n");
+              "workload (txn/s, sim threads: %d)\n\n", threads);
   std::printf("nodes,calvin,hermes,speedup\n");
   for (int nodes : {2, 5, 10, 20}) {
-    auto make = [nodes] {
+    auto make = [nodes, threads] {
       GoogleRunParams params;
+      params.sim_threads = threads;
       params.windows = 4;
       params.num_nodes = nodes;
       params.clients = 250 * nodes;

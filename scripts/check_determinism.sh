@@ -44,13 +44,25 @@ fi
 # others are arbitrary and distinct from the test's in-process constants.
 SALTS="0 0x5bd1e9955bd1e995 0x94d049bb133111eb"
 
+# Simulator thread counts for the perturbation runs: the epoch-parallel
+# simulator (HERMES_SIM_THREADS, DESIGN.md §5 "Parallel simulation") must
+# produce the same digests as the sequential oracle, so the multi-salt
+# sweep doubles as a multi-thread sweep — every DECISION_DIGEST across
+# salts x threads must still be one value.
+SIM_THREADS="${SIM_THREADS:-1 8}"
+
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
 for salt in $SALTS; do
-  echo "== HERMES_HASH_SALT=$salt =="
+  echo "== HERMES_HASH_SALT=$salt (sequential) =="
   HERMES_HASH_SALT="$salt" "$TEST_BIN" \
     --gtest_filter='DeterminismPerturbationTest.*' | tee -a "$out"
+  for threads in $SIM_THREADS; do
+    echo "== HERMES_HASH_SALT=$salt HERMES_SIM_THREADS=$threads =="
+    HERMES_HASH_SALT="$salt" HERMES_SIM_THREADS="$threads" "$TEST_BIN" \
+      --gtest_filter='DeterminismPerturbationTest.*' | tee -a "$out"
+  done
 done
 
 digests="$(sed -n 's/.*DECISION_DIGEST \([0-9a-f]*\) .*/\1/p' "$out" | sort -u)"
@@ -62,7 +74,7 @@ if [ "$count" -ne 1 ]; then
   exit 1
 fi
 
-echo "OK: decision digest $digests identical across all env and in-process salts"
+echo "OK: decision digest $digests identical across all env/in-process salts and sim thread counts ($SIM_THREADS)"
 
 # Chaos profile: one seeded fault plan per process, identical outcome line
 # (digests, checksum, commits, drop/dup counts, recovery times) required.

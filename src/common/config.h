@@ -119,6 +119,19 @@ struct ObsConfig {
   size_t trace_ring_capacity = 1 << 15;
 };
 
+/// Parallel-simulation (src/sim/) parameters. The simulator partitions
+/// events into per-node lanes and executes each virtual-time quantum as an
+/// epoch: one exclusive control slice, then all node lanes in parallel,
+/// then a deterministic barrier that merges staged cross-lane work in lane
+/// order. The schedule is a pure function of the event DAG — never of the
+/// thread count — so decision/placement/trace digests are identical for
+/// every `threads` value.
+struct SimConfig {
+  /// Real worker threads executing node lanes. 0 (the default and the
+  /// oracle mode) runs the identical epoch schedule on the calling thread.
+  int threads = 0;
+};
+
 /// Top-level configuration of a simulated cluster.
 struct ClusterConfig {
   int num_nodes = 4;
@@ -145,6 +158,7 @@ struct ClusterConfig {
   double ollp_stale_prob = 0.05;
   DegradedConfig degraded;
   ObsConfig obs;
+  SimConfig sim;
 };
 
 }  // namespace hermes

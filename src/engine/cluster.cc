@@ -56,6 +56,18 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
       scheduler_(&sim_, router_.get(), &executor_, &command_log_, &config_,
                  [this](const TxnRequest& txn) { return ResolveCallback(txn); },
                  &digest_, &placement_digest_) {
+  // Parallel simulation (DESIGN.md §5 "Parallel simulation"): one event
+  // lane per node, executed by config.sim.threads real threads under an
+  // epoch barrier. threads == 0 (the default) runs the identical epoch
+  // schedule sequentially and is the oracle mode; HERMES_SIM_THREADS
+  // overrides it so scripts can sweep thread counts without config edits.
+  int sim_threads = config_.sim.threads;
+  if (sim_threads == 0) {
+    if (const char* env = std::getenv("HERMES_SIM_THREADS")) {
+      sim_threads = static_cast<int>(std::strtol(env, nullptr, 10));
+    }
+  }
+  sim_.ConfigureLanes(config_.num_nodes, sim_threads);
   nodes_.reserve(config_.num_nodes);
   for (NodeId i = 0; i < config_.num_nodes; ++i) {
     nodes_.push_back(
@@ -85,8 +97,11 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
   // into it), timestamps come from the virtual clock, and the env vars
   // keep the historical UX — HERMES_TRACE=1 records everything,
   // HERMES_TRACE_KEY=<key> mirrors one key's events to stderr.
-  tracer_.Configure(config_.obs.trace_ring_capacity);
-  tracer_.set_clock(sim_.now_handle());
+  // Rings are pre-sized so lane-side Record() calls never grow the ring
+  // vector; the clock closure reads the lane-aware virtual clock.
+  tracer_.Configure(config_.obs.trace_ring_capacity,
+                    static_cast<size_t>(config_.num_nodes));
+  tracer_.set_clock([this] { return sim_.Now(); });
   if (config_.obs.trace_enabled) tracer_.set_enabled(true);
   if (const char* env = std::getenv("HERMES_TRACE")) {
     if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
@@ -373,6 +388,8 @@ void Cluster::EnableClay(const routing::ClayConfig& clay_config) {
 NodeId Cluster::AddNode(const std::vector<RangeMove>& cold_plan,
                         bool migrate_cold) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
+  sim_.EnsureLanes(id + 1);
+  tracer_.EnsureNode(id);
   nodes_.push_back(std::make_unique<Node>(id, &sim_, config_.workers_per_node));
   net_.EnsureCapacity(id + 1);
 
@@ -441,6 +458,8 @@ storage::Checkpoint Cluster::TakeCheckpoint() const {
 void Cluster::RestoreFromCheckpoint(const storage::Checkpoint& checkpoint) {
   while (nodes_.size() < checkpoint.stores.size()) {
     const NodeId id = static_cast<NodeId>(nodes_.size());
+    sim_.EnsureLanes(id + 1);
+    tracer_.EnsureNode(id);
     nodes_.push_back(
         std::make_unique<Node>(id, &sim_, config_.workers_per_node));
   }
@@ -474,6 +493,8 @@ void Cluster::ReplayBatches(const std::vector<Batch>& batches) {
           txn.migration_target >= num_nodes()) {
         while (num_nodes() <= txn.migration_target) {
           const NodeId id = static_cast<NodeId>(nodes_.size());
+          sim_.EnsureLanes(id + 1);
+          tracer_.EnsureNode(id);
           nodes_.push_back(
               std::make_unique<Node>(id, &sim_, config_.workers_per_node));
         }

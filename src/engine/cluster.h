@@ -257,11 +257,12 @@ class Cluster {
   obs::Registry& telemetry() { return telemetry_; }
   const obs::Registry& telemetry() const { return telemetry_; }
 
-  /// FNV-1a digest over the ordered trace-event stream (same pattern as
-  /// decision_digest): two traced runs match iff they recorded identical
-  /// event histories. The trace itself is a determinism oracle —
-  /// trace_determinism_test asserts it across HERMES_HASH_SALT values.
-  const DecisionDigest& trace_digest() const { return tracer_.digest(); }
+  /// FNV-1a digest over the trace-event stream: each per-node ring keeps
+  /// an order-sensitive digest, folded here in node order (same pattern as
+  /// decision_digest). Two traced runs match iff they recorded identical
+  /// per-node event histories — across hash salts AND thread counts
+  /// (trace_determinism_test, sequential_vs_parallel_digest_test).
+  DecisionDigest trace_digest() const { return tracer_.digest(); }
 
   /// Renders the trace as Chrome trace_event JSON (Perfetto-loadable).
   std::string TraceJson() const;

@@ -324,16 +324,23 @@ void TxnExecutor::FinishParticipant(Active& a, NodeId node) {
                  }
                });
   }
-  if (migrated > 0) metrics_->RecordMigrations(sim_->Now(), migrated);
-
   // Early release: participants that are not masters give their locks up
-  // right after shipping (their part of the transaction is over).
+  // right after shipping (their part of the transaction is over). Lock
+  // state is node-local, so the release and its grant chain stay on this
+  // lane; the shared bookkeeping (metrics, participant counter, possible
+  // completion) rides the epoch barrier at the same virtual time.
   std::vector<TxnId> granted;
   if (!state->is_master) {
     src.locks().Release(id, &granted);
   }
-  --a.participants_pending;
-  MaybeComplete(a);  // may destroy `a`
+  sim_->Defer([this, id, migrated]() {
+    if (migrated > 0) metrics_->RecordMigrations(sim_->Now(), migrated);
+    auto it = actives_.find(id);
+    if (it == actives_.end()) return;
+    Active& act = *it->second;
+    --act.participants_pending;
+    MaybeComplete(act);  // may destroy `act`
+  });
   ProcessGrants(node, granted);
 }
 
@@ -353,7 +360,7 @@ void TxnExecutor::CheckMasterReady(Active& a, MasterState& m) {
   m.started = true;
   m.ready_time = sim_->Now();
   if (m.ready_time > state->grant_time) {
-    a.remote_wait_us += m.ready_time - state->grant_time;
+    m.remote_wait_us += m.ready_time - state->grant_time;
   }
   ExecuteMaster(a, m);
 }
@@ -376,7 +383,7 @@ void TxnExecutor::ExecuteMaster(Active& a, MasterState& m) {
                        costs_->txn_logic_per_record_us * a.plan.txn.NumOps() +
                        costs_->storage_op_us * local_ops +
                        costs_->msg_processing_us * m.messages_received;
-  a.exec_us += cost;
+  m.exec_us += cost;
   const TxnId id = a.plan.txn.id;
   const NodeId node = m.node;
   NodeAt(node).workers().Submit(cost, [this, id, node]() {
@@ -424,13 +431,24 @@ void TxnExecutor::CommitMaster(Active& a, MasterState& m) {
   std::vector<TxnId> granted;
   node.locks().Release(id, &granted);
   m.done = true;
-  ++a.masters_done;
   const NodeId master_node = m.node;
+  // The done-counter is shared across masters (different node lanes) and
+  // the acknowledgment does cross-node work (return-shipment extracts),
+  // so both run at the epoch barrier, at this same virtual time. The
+  // grant chain is node-local and stays on this lane.
+  sim_->Defer([this, id]() { OnMasterDone(id); });
+  ProcessGrants(master_node, granted);
+}
+
+void TxnExecutor::OnMasterDone(TxnId id) {
+  auto it = actives_.find(id);
+  if (it == actives_.end()) return;
+  Active& a = *it->second;
+  ++a.masters_done;
   if (a.masters_done == static_cast<int>(a.masters.size())) {
     Acknowledge(a);
-    MaybeComplete(a);  // may destroy `a` and `m`
+    MaybeComplete(a);  // may destroy `a`
   }
-  ProcessGrants(master_node, granted);
 }
 
 void TxnExecutor::MaybeComplete(Active& a) {
@@ -441,6 +459,8 @@ void TxnExecutor::MaybeComplete(Active& a) {
 }
 
 void TxnExecutor::Acknowledge(Active& a) {
+  assert(!sim_->in_lane_context() &&
+         "acknowledgment does cross-node work; exclusive context only");
   // Return shipments: checked-out records go home after commit. The
   // write-back is real work: the sender reads and serializes each record,
   // the receiver deserializes and re-inserts it — this is the overhead
@@ -490,8 +510,16 @@ void TxnExecutor::Acknowledge(Active& a) {
     }
   }
   result.latency.lock_wait_us = lock_wait;
-  result.latency.remote_wait_us = a.remote_wait_us;
-  result.latency.storage_us = a.exec_us;
+  // Per-master contributions were accumulated on each master's own lane;
+  // summing here (exclusive context) reproduces the sequential totals.
+  SimTime remote_wait_us = 0;
+  SimTime exec_us = 0;
+  for (const auto& m : a.masters) {
+    remote_wait_us += m.remote_wait_us;
+    exec_us += m.exec_us;
+  }
+  result.latency.remote_wait_us = remote_wait_us;
+  result.latency.storage_us = exec_us;
 
   // Phase spans: the lifecycle timeline of §2.1, laid end to end from
   // submit time. Purely derived from the latency breakdown computed above.
@@ -593,10 +621,10 @@ std::string TxnExecutor::DebugString() const {
   }
   // Sorted so the diagnostic is stable across runs and hash salts.
   std::vector<std::tuple<NodeId, Key, size_t>> waits;
-  waits.reserve(presence_waiters_.size());
-  // detlint:allow(unordered-iter) collection only; sorted just below
-  for (const auto& [pk, waiters] : presence_waiters_) {
-    waits.emplace_back(pk.node, pk.key, waiters.size());
+  for (size_t node = 0; node < presence_waiters_.size(); ++node) {
+    for (const auto& [key, waiters] : presence_waiters_[node]) {
+      waits.emplace_back(static_cast<NodeId>(node), key, waiters.size());
+    }
   }
   std::sort(waits.begin(), waits.end());
   for (const auto& [node, key, count] : waits) {
@@ -621,6 +649,20 @@ std::string TxnExecutor::DebugString() const {
   return out;
 }
 
+TxnExecutor::PresenceShardMap& TxnExecutor::PresenceShard(NodeId node) {
+  const size_t idx = static_cast<size_t>(node);
+  if (idx >= presence_waiters_.size()) {
+    // Shard growth reallocates the vector, which would race lanes reading
+    // their own shards — it may only happen in exclusive context (nodes
+    // are provisioned there, before their lane runs any event).
+    assert(!sim_->in_lane_context() &&
+           "presence shards may only grow in exclusive context");
+    presence_waiters_.resize(nodes_->size() > idx + 1 ? nodes_->size()
+                                                      : idx + 1);
+  }
+  return presence_waiters_[idx];
+}
+
 void TxnExecutor::WaitPresence(NodeId node, std::vector<Key> keys,
                                std::function<void()> ready) {
   std::vector<Key> missing;
@@ -633,19 +675,38 @@ void TxnExecutor::WaitPresence(NodeId node, std::vector<Key> keys,
   }
   auto remaining = std::make_shared<size_t>(missing.size());
   auto shared_ready = std::make_shared<std::function<void()>>(std::move(ready));
+  PresenceShardMap& shard = PresenceShard(node);
   for (Key k : missing) {
-    presence_waiters_[PresenceKey{node, k}].push_back(
-        [remaining, shared_ready]() {
-          if (--*remaining == 0) (*shared_ready)();
-        });
+    shard[k].push_back([remaining, shared_ready]() {
+      if (--*remaining == 0) (*shared_ready)();
+    });
   }
+}
+
+void TxnExecutor::Freeze(Active& a) {
+  // The frozen flag and the sorted watchdog index are shared across
+  // nodes; lane-side freezes (dead-node gates firing on the dead node's
+  // lane) land at the epoch barrier, same virtual time. Captured by id:
+  // the transaction may complete at the same barrier.
+  const TxnId id = a.plan.txn.id;
+  sim_->Defer([this, id]() {
+    auto it = actives_.find(id);
+    if (it == actives_.end()) return;
+    it->second->frozen = true;
+    frozen_ids_.insert(id);
+  });
 }
 
 void TxnExecutor::TrackInFlight(Key key, NodeId from, NodeId to, TxnId txn,
                                 const storage::Record& record) {
-  assert(!inflight_records_.contains(key) &&
-         "record extracted twice without an intervening delivery");
-  inflight_records_[key] = InFlightRecord{from, to, txn, record};
+  // The in-flight table is written only in exclusive context; extraction
+  // on a node lane defers the bookkeeping to the barrier (same virtual
+  // time — the record was already physically Extract()ed by the caller).
+  sim_->Defer([this, key, from, to, txn, record]() {
+    assert(!inflight_records_.contains(key) &&
+           "record extracted twice without an intervening delivery");
+    inflight_records_[key] = InFlightRecord{from, to, txn, record};
+  });
 }
 
 void TxnExecutor::DeliverRecord(NodeId node, Key key,
@@ -656,47 +717,55 @@ void TxnExecutor::DeliverRecord(NodeId node, Key key,
     // holds) and arm a deterministic reclaim: after reclaim_timeout_us
     // the sender re-inserts the record and notes the divergence from the
     // ownership map; if the node rejoins first, OnNodeUp flushes it.
-    auto it = inflight_records_.find(key);
-    if (it == inflight_records_.end()) return;
-    InFlightRecord& entry = it->second;
-    if (entry.suppressed) return;
-    entry.suppressed = true;
-    HERMES_TRACE(tracer_, obs::EventKind::kRecordSuppress, node, entry.txn,
-                 key);
-    // Freeze the carrying transaction: its shipment will never complete.
-    const TxnId carrier = entry.txn;
-    auto at = actives_.find(carrier);
-    if (at != actives_.end()) Freeze(*at->second);
-    const SimTime timeout =
-        degraded_ != nullptr ? degraded_->reclaim_timeout_us : 2000;
-    sim_->Schedule(timeout, [this, key, carrier]() {
-      auto rit = inflight_records_.find(key);
-      if (rit == inflight_records_.end()) return;  // flushed at rejoin
-      const InFlightRecord e = rit->second;
-      if (!e.suppressed || e.txn != carrier) return;  // re-extracted since
-      if (!NodeDead(e.to)) return;  // rejoined; OnNodeUp owns the flush
-      inflight_records_.erase(rit);
-      displaced_[key] = e.from;
-      if (ledger_ != nullptr) ledger_->RecordReclaim();
-      HERMES_TRACE(tracer_, obs::EventKind::kRecordReclaim, e.from, carrier,
+    // Suppression mutates shared state (the in-flight table, the frozen
+    // index), so it rides the barrier when the delivery ran lane-side.
+    sim_->Defer([this, node, key]() {
+      auto it = inflight_records_.find(key);
+      if (it == inflight_records_.end()) return;
+      InFlightRecord& entry = it->second;
+      if (entry.suppressed) return;
+      entry.suppressed = true;
+      HERMES_TRACE(tracer_, obs::EventKind::kRecordSuppress, node, entry.txn,
                    key);
-      DeliverRecord(e.from, key, e.record);
+      // Freeze the carrying transaction: its shipment will never complete.
+      const TxnId carrier = entry.txn;
+      auto at = actives_.find(carrier);
+      if (at != actives_.end()) Freeze(*at->second);
+      const SimTime timeout =
+          degraded_ != nullptr ? degraded_->reclaim_timeout_us : 2000;
+      sim_->Schedule(timeout, [this, key, carrier]() {
+        auto rit = inflight_records_.find(key);
+        if (rit == inflight_records_.end()) return;  // flushed at rejoin
+        const InFlightRecord e = rit->second;
+        if (!e.suppressed || e.txn != carrier) return;  // re-extracted since
+        if (!NodeDead(e.to)) return;  // rejoined; OnNodeUp owns the flush
+        inflight_records_.erase(rit);
+        displaced_[key] = e.from;
+        if (ledger_ != nullptr) ledger_->RecordReclaim();
+        HERMES_TRACE(tracer_, obs::EventKind::kRecordReclaim, e.from, carrier,
+                     key);
+        DeliverRecord(e.from, key, e.record);
+      });
     });
     return;
   }
   if (HERMES_TRACE_ACTIVE(tracer_)) {
+    // Read-only lookup: lanes may read the in-flight table (all writes are
+    // barrier-serialized), and this delivery's entry was inserted at an
+    // earlier barrier — the wire time is positive.
     auto carrier = inflight_records_.find(key);
     tracer_->Record(obs::EventKind::kRecordDeliver, node,
                     carrier != inflight_records_.end() ? carrier->second.txn
                                                        : kInvalidTxn,
                     key);
   }
-  inflight_records_.erase(key);
+  sim_->Defer([this, key]() { inflight_records_.erase(key); });
   NodeAt(node).store().Insert(key, record);
-  auto it = presence_waiters_.find(PresenceKey{node, key});
-  if (it == presence_waiters_.end()) return;
+  PresenceShardMap& shard = PresenceShard(node);
+  auto it = shard.find(key);
+  if (it == shard.end()) return;
   std::vector<std::function<void()>> waiters = std::move(it->second);
-  presence_waiters_.erase(it);
+  shard.erase(it);
   for (auto& w : waiters) w();
 }
 

@@ -174,6 +174,11 @@ class TxnExecutor {
     bool started = false;
     bool done = false;
     SimTime ready_time = 0;
+    /// Latency contributions accumulated on this master's node lane;
+    /// summed across masters by Acknowledge() (exclusive context), so no
+    /// two lanes ever write one field.
+    SimTime remote_wait_us = 0;
+    SimTime exec_us = 0;
   };
   struct Active {
     routing::RoutedTxn plan;
@@ -193,8 +198,6 @@ class TxnExecutor {
     /// it can no longer complete on its own and the watchdog will
     /// UNDO-abort it at the next sweep.
     bool frozen = false;
-    SimTime remote_wait_us = 0;
-    SimTime exec_us = 0;
   };
 
   Node& NodeAt(NodeId id) { return *(*nodes_)[id]; }
@@ -212,8 +215,13 @@ class TxnExecutor {
   void CheckMasterReady(Active& a, MasterState& m);
   void ExecuteMaster(Active& a, MasterState& m);
   void CommitMaster(Active& a, MasterState& m);
+  /// Barrier-side tail of CommitMaster: bumps masters_done and, once every
+  /// master committed, acknowledges. Runs in exclusive context (Defer) —
+  /// masters commit on their own node lanes, so the shared counter and the
+  /// cross-node acknowledgment work may not run lane-side.
+  void OnMasterDone(TxnId id);
   /// Client acknowledgment + return shipments, fired once when every
-  /// master has committed.
+  /// master has committed. Exclusive context only.
   void Acknowledge(Active& a);
   /// Destroys the transaction state once masters and participants are all
   /// done.
@@ -224,10 +232,9 @@ class TxnExecutor {
     return membership_ != nullptr && !membership_->alive(node);
   }
   /// Marks `a` stuck at a dead node and indexes it for the watchdog.
-  void Freeze(Active& a) {
-    a.frozen = true;
-    frozen_ids_.insert(a.plan.txn.id);
-  }
+  /// Defers to the epoch barrier when called lane-side (the flag and the
+  /// sorted index are shared across nodes).
+  void Freeze(Active& a);
   /// Deterministic periodic sweep: aborts every frozen, un-acknowledged
   /// transaction (sorted by id), re-arming while any node is down.
   void WatchdogSweep();
@@ -238,7 +245,8 @@ class TxnExecutor {
   void AbortActive(Active& a);
 
   /// Registers a record as extracted at `from` and riding a message to
-  /// `to` (cleared again by DeliverRecord).
+  /// `to` (cleared again by DeliverRecord). The table write lands at the
+  /// epoch barrier when called lane-side (same virtual time).
   void TrackInFlight(Key key, NodeId from, NodeId to, TxnId txn,
                      const storage::Record& record);
 
@@ -257,22 +265,21 @@ class TxnExecutor {
   const CostModel* costs_;
   std::vector<std::unique_ptr<Node>>* nodes_;
 
+  /// Transaction table. Structural writes (insert on dispatch, erase on
+  /// completion/abort) happen only in exclusive context; node lanes do
+  /// read-only find()s, which is safe while the barrier serializes every
+  /// mutation.
   HashMap<TxnId, std::unique_ptr<Active>> actives_;
 
-  struct PresenceKey {
-    NodeId node;
-    Key key;
-    bool operator==(const PresenceKey&) const = default;
-  };
-  struct PresenceHash {
-    size_t operator()(const PresenceKey& p) const {
-      return std::hash<uint64_t>()((static_cast<uint64_t>(p.node) << 48) ^
-                                   p.key);
-    }
-  };
-  HashMap<PresenceKey, std::vector<std::function<void()>>, PresenceHash>
-      presence_waiters_;
+  using PresenceShardMap = HashMap<Key, std::vector<std::function<void()>>>;
+  /// Presence waiters, sharded per node: shard `n` is touched only by node
+  /// n's lane (or the exclusive slice), so concurrent deliveries on
+  /// different lanes never share a map. Grown in exclusive context only.
+  std::vector<PresenceShardMap> presence_waiters_;
+  PresenceShardMap& PresenceShard(NodeId node);
 
+  /// Written only in exclusive context (extract/delivery bookkeeping rides
+  /// the epoch barrier); lanes may read it (trace carrier lookups).
   std::map<Key, InFlightRecord> inflight_records_;
 
   obs::Counter committed_;

@@ -3,31 +3,37 @@
 namespace hermes::fault {
 
 LinkChaos::LinkChaos(const LinkChaosConfig& config, uint64_t seed)
-    : config_(config), rng_(Mix64(seed ^ 0x11c4a05ULL)) {}
+    : config_(config), seed_(Mix64(seed ^ 0x11c4a05ULL)) {}
 
-sim::Perturbation LinkChaos::Draw(NodeId /*src*/, NodeId /*dst*/,
-                                  uint64_t /*bytes*/, SimTime /*now*/) {
-  ++draws_;
+sim::Perturbation LinkChaos::Draw(NodeId src, NodeId dst,
+                                  uint64_t link_seq) const {
+  // A fresh Rng per message, keyed by (seed, link, message index): the
+  // draw depends only on the message's identity, never on how many draws
+  // other links made before it.
+  const uint64_t link_key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+      static_cast<uint32_t>(dst);
+  Rng rng(Mix64(seed_ ^ Mix64(link_key) ^ Mix64(link_seq + 0x9e3779b9ULL)));
   sim::Perturbation p;
   // Wire attempts are lost independently until one gets through (bounded
   // so a pathological drop_prob cannot stall the simulation).
   while (p.dropped_attempts < config_.max_drops_per_message &&
-         rng_.NextDouble() < config_.drop_prob) {
+         rng.NextDouble() < config_.drop_prob) {
     ++p.dropped_attempts;
     p.extra_delay_us += config_.retransmit_delay_us;
   }
-  if (rng_.NextDouble() < config_.duplicate_prob) p.duplicates = 1;
+  if (rng.NextDouble() < config_.duplicate_prob) p.duplicates = 1;
   if (config_.max_jitter_us > 0) {
-    p.extra_delay_us += rng_.NextBounded(config_.max_jitter_us + 1);
+    p.extra_delay_us += rng.NextBounded(config_.max_jitter_us + 1);
   }
   return p;
 }
 
 void LinkChaos::Install(sim::Network* net) {
-  net->set_perturbation(
-      [this](NodeId src, NodeId dst, uint64_t bytes, SimTime now) {
-        return Draw(src, dst, bytes, now);
-      });
+  net->set_perturbation([this](NodeId src, NodeId dst, uint64_t /*bytes*/,
+                               SimTime /*now*/, uint64_t link_seq) {
+    return Draw(src, dst, link_seq);
+  });
 }
 
 }  // namespace hermes::fault

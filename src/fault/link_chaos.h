@@ -11,28 +11,28 @@
 namespace hermes::fault {
 
 /// Seeded per-message chaos source. Install()ed into a sim::Network, it is
-/// consulted once per inter-node Send in deterministic Send order, so the
-/// full perturbation history is a pure function of (config, seed) — rerun
-/// the same workload with the same plan and every drop, duplicate and
-/// jitter draw recurs at the same point in the message stream.
+/// consulted once per inter-node Send. Each draw is a *pure function* of
+/// (seed, src, dst, link sequence number): there is no shared RNG stream
+/// to advance, so draws are identical no matter how sends from different
+/// node lanes interleave in real time — the perturbation history is a pure
+/// function of (config, seed, per-link message order), which the network
+/// keeps total.
 class LinkChaos {
  public:
   LinkChaos(const LinkChaosConfig& config, uint64_t seed);
 
-  /// Draws the perturbation for one message (advances the Rng).
-  sim::Perturbation Draw(NodeId src, NodeId dst, uint64_t bytes, SimTime now);
+  /// Draws the perturbation for message `link_seq` on the directed link
+  /// src -> dst. Stateless: same arguments, same draw.
+  sim::Perturbation Draw(NodeId src, NodeId dst, uint64_t link_seq) const;
 
   /// Hooks this chaos source into `net`. The network keeps a copy of the
-  /// std::function, but the state lives here — the LinkChaos must outlive
+  /// std::function, but the config lives here — the LinkChaos must outlive
   /// the hook (the FaultInjector owns both).
   void Install(sim::Network* net);
 
-  uint64_t draws() const { return draws_; }
-
  private:
   LinkChaosConfig config_;
-  Rng rng_;
-  uint64_t draws_ = 0;
+  uint64_t seed_;
 };
 
 }  // namespace hermes::fault

@@ -84,11 +84,14 @@ std::vector<TraceEvent> TraceRing::InOrder() const {
   return out;
 }
 
-void Tracer::Configure(size_t ring_capacity) {
+void Tracer::Configure(size_t ring_capacity, size_t num_nodes) {
   ring_capacity_ = ring_capacity > 0 ? ring_capacity : 1;
   rings_.clear();
-  next_seq_ = 0;
-  digest_.Reset();
+  if (num_nodes > 0) {
+    for (size_t i = 0; i < num_nodes + 1; ++i) {
+      rings_.emplace_back(ring_capacity_);
+    }
+  }
 }
 
 TraceRing& Tracer::RingFor(NodeId node) {
@@ -99,26 +102,37 @@ TraceRing& Tracer::RingFor(NodeId node) {
   return rings_[idx];
 }
 
+DecisionDigest Tracer::digest() const {
+  DecisionDigest fold;
+  for (const auto& r : rings_) {
+    if (r.digest.count() == 0) continue;
+    fold.Mix(r.digest.value());
+    fold.Mix(r.digest.count());
+  }
+  return fold;
+}
+
 void Tracer::Emit(EventKind kind, NodeId node, TxnId txn, Key key,
                   uint64_t arg, SimTime when, SimTime dur) {
+  TraceRing& ring = RingFor(node);
   TraceEvent e;
   e.when = when;
   e.dur = dur;
-  e.seq = next_seq_++;
+  e.seq = ring.next_seq++;
   e.txn = txn;
   e.key = key;
   e.arg = arg;
   e.node = node;
   e.kind = kind;
   if (enabled_) {
-    digest_.Mix(static_cast<uint64_t>(e.kind));
-    digest_.Mix(e.when);
-    digest_.Mix(e.dur);
-    digest_.Mix(static_cast<uint64_t>(static_cast<int64_t>(e.node)));
-    digest_.Mix(e.txn);
-    digest_.Mix(e.key);
-    digest_.Mix(e.arg);
-    RingFor(node).Push(e);
+    ring.digest.Mix(static_cast<uint64_t>(e.kind));
+    ring.digest.Mix(e.when);
+    ring.digest.Mix(e.dur);
+    ring.digest.Mix(static_cast<uint64_t>(static_cast<int64_t>(e.node)));
+    ring.digest.Mix(e.txn);
+    ring.digest.Mix(e.key);
+    ring.digest.Mix(e.arg);
+    ring.Push(e);
   }
   if (mirror_key_ != kNoMirror && key == mirror_key_) {
     std::fprintf(stderr,

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/digest.h"
@@ -59,7 +60,7 @@ bool IsSpan(EventKind kind);
 struct TraceEvent {
   SimTime when = 0;  ///< virtual time the event (or span) starts
   SimTime dur = 0;   ///< span duration; 0 for instants
-  uint64_t seq = 0;  ///< global emission order (total across all rings)
+  uint64_t seq = 0;  ///< ring-local emission order (see Tracer docs)
   TxnId txn = kInvalidTxn;
   Key key = static_cast<Key>(-1);
   uint64_t arg = 0;  ///< kind-specific payload (see EventKind comments)
@@ -97,6 +98,11 @@ struct TraceRing {
   std::vector<TraceEvent> events;
   uint64_t recorded = 0;  ///< total Push() calls
   uint64_t dropped = 0;   ///< events overwritten after the ring filled
+  uint64_t next_seq = 0;  ///< ring-local emission sequence
+  /// Order-sensitive digest of every enabled-mode event emitted into this
+  /// ring. Per-ring state keeps emission fully lane-local under the
+  /// parallel simulator; Tracer::digest() folds the rings in index order.
+  DecisionDigest digest;
 
  private:
   size_t capacity_;
@@ -120,13 +126,27 @@ class Tracer {
  public:
   static constexpr Key kNoMirror = static_cast<Key>(-1);
 
-  /// Sets the per-ring capacity (events per node). Must be called before
-  /// the first Record(); existing rings are discarded.
-  void Configure(size_t ring_capacity);
+  /// Sets the per-ring capacity (events per node) and, when `num_nodes` is
+  /// non-zero, pre-sizes the rings (ring 0 plus one per node). Must be
+  /// called before the first Record(); existing rings are discarded.
+  /// Pre-sizing matters under the parallel simulator: lane-side Record()
+  /// calls index into `rings_` concurrently, so the vector must not grow
+  /// from a lane. EnsureNode() grows it from exclusive context.
+  void Configure(size_t ring_capacity, size_t num_nodes = 0);
+
+  /// Grows the ring set to cover `node` (exclusive context only — used by
+  /// dynamic provisioning before the new node's lane runs).
+  void EnsureNode(NodeId node) { RingFor(node); }
 
   /// Points the tracer at the simulator's virtual clock. The tracer only
-  /// ever reads through this pointer (passivity).
-  void set_clock(const SimTime* now) { now_ = now; }
+  /// ever reads through this function (passivity). Function-valued so the
+  /// parallel simulator can hand out its lane-aware clock.
+  void set_clock(std::function<SimTime()> now) { now_ = std::move(now); }
+
+  /// Convenience overload for tests driving a raw SimTime variable.
+  void set_clock(const SimTime* now) {
+    now_ = [now] { return *now; };
+  }
 
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
@@ -141,7 +161,7 @@ class Tracer {
   /// Records an instant event at the current virtual time.
   void Record(EventKind kind, NodeId node, TxnId txn,
               Key key = static_cast<Key>(-1), uint64_t arg = 0) {
-    Emit(kind, node, txn, key, arg, now_ != nullptr ? *now_ : 0, 0);
+    Emit(kind, node, txn, key, arg, now_ ? now_() : 0, 0);
   }
 
   /// Records a span [begin, begin + dur).
@@ -150,10 +170,13 @@ class Tracer {
     Emit(kind, node, txn, key, arg, begin, dur);
   }
 
-  /// Digest over every enabled-mode event in emission order. Mixes the
-  /// full event (kind, when, dur, node, txn, key, arg) per Record(), so a
-  /// match means the traced runs saw identical histories.
-  const DecisionDigest& digest() const { return digest_; }
+  /// Digest over every enabled-mode event: each ring keeps its own
+  /// order-sensitive digest (full event — kind, when, dur, node, txn, key,
+  /// arg — mixed per Record()), and this folds the per-ring digests in
+  /// ring-index order (= deterministic node order). A match means the
+  /// traced runs saw identical per-node histories, independent of how lane
+  /// events interleaved in real time.
+  DecisionDigest digest() const;
 
   /// Ring 0 = cluster scope (node == kInvalidNode); ring i+1 = node i.
   size_t num_rings() const { return rings_.size(); }
@@ -167,13 +190,11 @@ class Tracer {
             SimTime when, SimTime dur);
   TraceRing& RingFor(NodeId node);
 
-  const SimTime* now_ = nullptr;
+  std::function<SimTime()> now_;
   bool enabled_ = false;
   Key mirror_key_ = kNoMirror;
   size_t ring_capacity_ = 1 << 15;
-  uint64_t next_seq_ = 0;
   std::vector<TraceRing> rings_;
-  DecisionDigest digest_;
 };
 
 }  // namespace hermes::obs

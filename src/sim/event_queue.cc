@@ -19,4 +19,11 @@ std::function<void()> EventQueue::Pop() {
   return fn;
 }
 
+EventQueue::Popped EventQueue::PopEntry() {
+  const Entry& top = heap_.top();
+  Popped out{top.when, top.seq, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
 }  // namespace hermes::sim

@@ -34,6 +34,23 @@ class EventQueue {
   /// Removes and returns the earliest pending event. Requires !empty().
   std::function<void()> Pop();
 
+  /// One dequeued event plus its ordering key. `seq` is this queue's own
+  /// insertion sequence — for the simulator's lane queues it is the
+  /// lane-local component of the global (time, lane, seq) total order.
+  struct Popped {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+
+  /// Removes and returns the earliest pending event with its ordering key,
+  /// without touching the attached digest (the caller owns transcript
+  /// mixing). Requires !empty().
+  Popped PopEntry();
+
+  /// Sequence number the next Push() will receive (diagnostics).
+  uint64_t next_seq() const { return next_seq_; }
+
   /// Attaches a decision digest: every Pop() mixes the popped entry's
   /// (when, seq) pair, making the full event firing order part of the
   /// cluster's DecisionDigest.

@@ -11,30 +11,49 @@ Network::Network(Simulator* sim, const CostModel* costs, int num_nodes)
   EnsureCapacity(num_nodes);
 }
 
+uint64_t Network::Sum(const std::vector<uint64_t>& row) {
+  uint64_t total = 0;
+  for (uint64_t v : row) total += v;
+  return total;
+}
+
 void Network::EnsureCapacity(int num_nodes) {
+  assert(!sim_->in_lane_context() &&
+         "capacity growth must happen in exclusive context");
   const size_t n = static_cast<size_t>(num_nodes);
   if (bytes_sent_.size() >= n) return;
   bytes_sent_.resize(n, 0);
+  messages_sent_.resize(n, 0);
+  messages_dropped_.resize(n, 0);
+  messages_duplicated_.resize(n, 0);
   bytes_received_.resize(n, 0);
   messages_received_.resize(n, 0);
   for (auto& row : link_messages_) row.resize(n, 0);
   link_messages_.resize(n, std::vector<uint64_t>(n, 0));
+  for (auto& row : send_seq_) row.resize(n, 0);
+  send_seq_.resize(n, std::vector<uint64_t>(n, 0));
 }
 
 void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
                    std::function<void()> on_delivery) {
   assert(src >= 0 && src < static_cast<NodeId>(bytes_sent_.size()));
   assert(dst >= 0 && dst < static_cast<NodeId>(bytes_sent_.size()));
+  // Send-side counters are row `src`: only that node's lane (or the
+  // exclusive slice) may touch them.
+  assert((!sim_->in_lane_context() ||
+          sim_->current_lane() == static_cast<int>(src)) &&
+         "Send must run on the source node's lane or exclusively");
   if (src == dst) {
     // Local hand-off: no wire bytes, no latency, but still asynchronous so
     // that callers never re-enter themselves.
-    sim_->Schedule(0, std::move(on_delivery));
+    sim_->ScheduleOnLane(static_cast<int>(dst), 0, std::move(on_delivery));
     return;
   }
   const uint64_t bytes = payload_bytes + costs_->message_overhead_bytes;
+  const uint64_t link_seq = send_seq_[src][dst]++;
 
   Perturbation p;
-  if (perturb_) p = perturb_(src, dst, bytes, sim_->Now());
+  if (perturb_) p = perturb_(src, dst, bytes, sim_->Now(), link_seq);
   assert(p.dropped_attempts >= 0 && p.duplicates >= 0);
 
   // Every wire attempt — dropped, duplicated, or delivered — costs sender
@@ -43,24 +62,26 @@ void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
       1 + static_cast<uint64_t>(p.dropped_attempts) +
       static_cast<uint64_t>(p.duplicates);
   bytes_sent_[src] += bytes * attempts;
-  total_bytes_ += bytes * attempts;
-  total_messages_ += attempts;
+  messages_sent_[src] += attempts;
   link_messages_[src][dst] += attempts;
-  messages_dropped_ += p.dropped_attempts;
-  messages_duplicated_ += p.duplicates;
-
-  // Delivered copies (the real one plus dedup-suppressed duplicates) count
-  // at the receiver; the callback fires exactly once.
-  const uint64_t delivered = 1 + static_cast<uint64_t>(p.duplicates);
-  bytes_received_[dst] += bytes * delivered;
-  total_bytes_received_ += bytes * delivered;
-  messages_received_[dst] += delivered;
+  messages_dropped_[src] += static_cast<uint64_t>(p.dropped_attempts);
+  messages_duplicated_[src] += static_cast<uint64_t>(p.duplicates);
 
   const SimTime wire =
       costs_->net_latency_us +
       static_cast<SimTime>(std::llround(bytes * costs_->net_us_per_byte)) +
       p.extra_delay_us;
-  sim_->Schedule(wire, std::move(on_delivery));
+  // Delivered copies (the real one plus dedup-suppressed duplicates) are
+  // charged to the receiver by the delivery event itself — it runs on the
+  // destination lane, which owns row `dst`.
+  const uint64_t delivered = 1 + static_cast<uint64_t>(p.duplicates);
+  sim_->ScheduleOnLane(
+      static_cast<int>(dst), wire,
+      [this, dst, bytes, delivered, cb = std::move(on_delivery)]() {
+        bytes_received_[dst] += bytes * delivered;
+        messages_received_[dst] += delivered;
+        cb();
+      });
 }
 
 }  // namespace hermes::sim

@@ -34,14 +34,23 @@ struct Perturbation {
 /// latency + bytes * us_per_byte; per-node byte counters feed the Fig. 8
 /// network-usage series. Messages between a node and itself are delivered
 /// after zero wire time (still asynchronously, preserving event ordering).
+///
+/// Under partitioned execution the fabric is the epoch-crossing edge: a
+/// Send may run on the source node's lane, and the delivery callback is
+/// scheduled onto the *destination* node's lane. Send-side counters are
+/// per-source rows (each touched only by its own lane or the exclusive
+/// slice); receive-side counters are charged by the delivery event on the
+/// destination lane; totals are summed on read.
 class Network {
  public:
   /// Decides the perturbation for one inter-node message. Must be a pure
-  /// function of its own (seeded) state and the call sequence — never of
-  /// wall clock — so chaos runs stay deterministic.
+  /// function of (seed, src, dst, bytes, link_seq) — never of wall clock
+  /// or shared mutable state — so chaos draws are deterministic even when
+  /// source lanes send concurrently. `link_seq` is the 0-based sequence
+  /// number of this message on the directed link src -> dst.
   using PerturbationFn =
       std::function<Perturbation(NodeId src, NodeId dst, uint64_t bytes,
-                                 SimTime now)>;
+                                 SimTime now, uint64_t link_seq)>;
 
   Network(Simulator* sim, const CostModel* costs, int num_nodes);
 
@@ -49,26 +58,28 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Sends `payload_bytes` of application payload from `src` to `dst` and
-  /// runs `on_delivery` when the message lands. Framing overhead is added
-  /// to the byte count automatically.
+  /// runs `on_delivery` when the message lands (on node `dst`'s lane).
+  /// Framing overhead is added to the byte count automatically. May be
+  /// called from `src`'s lane or from exclusive context.
   void Send(NodeId src, NodeId dst, uint64_t payload_bytes,
             std::function<void()> on_delivery);
 
   /// Grows counters when nodes are added by dynamic provisioning.
+  /// Exclusive context only.
   void EnsureCapacity(int num_nodes);
 
   /// Installs (or clears, with nullptr) the fault-injection hook consulted
   /// for every inter-node message.
   void set_perturbation(PerturbationFn fn) { perturb_ = std::move(fn); }
 
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t total_messages() const { return total_messages_; }
+  uint64_t total_bytes() const { return Sum(bytes_sent_); }
+  uint64_t total_messages() const { return Sum(messages_sent_); }
   uint64_t bytes_sent(NodeId node) const { return bytes_sent_[node]; }
 
   /// Bytes successfully delivered to `node` (equals the send-side count
   /// minus in-flight and dropped wire attempts, plus duplicated copies).
   uint64_t bytes_received(NodeId node) const { return bytes_received_[node]; }
-  uint64_t total_bytes_received() const { return total_bytes_received_; }
+  uint64_t total_bytes_received() const { return Sum(bytes_received_); }
   uint64_t messages_received(NodeId node) const {
     return messages_received_[node];
   }
@@ -80,24 +91,32 @@ class Network {
   }
 
   /// Wire attempts lost to fault injection (each was retransmitted).
-  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_dropped() const { return Sum(messages_dropped_); }
   /// Redundant duplicate deliveries suppressed by transport dedup.
-  uint64_t messages_duplicated() const { return messages_duplicated_; }
+  uint64_t messages_duplicated() const { return Sum(messages_duplicated_); }
 
  private:
+  static uint64_t Sum(const std::vector<uint64_t>& row);
+
   Simulator* sim_;
   const CostModel* costs_;
+  /// All send-side state is per-source rows: row `n` is written only by
+  /// node n's lane (or the exclusive slice), so concurrent sends from
+  /// different lanes never share a counter.
   std::vector<uint64_t> bytes_sent_;
-  std::vector<uint64_t> bytes_received_;
-  std::vector<uint64_t> messages_received_;
+  std::vector<uint64_t> messages_sent_;
+  std::vector<uint64_t> messages_dropped_;
+  std::vector<uint64_t> messages_duplicated_;
   /// link_messages_[src][dst]: wire attempts on the directed link.
   std::vector<std::vector<uint64_t>> link_messages_;
+  /// send_seq_[src][dst]: messages initiated on the directed link; feeds
+  /// the perturbation hook its per-link sequence number.
+  std::vector<std::vector<uint64_t>> send_seq_;
+  /// Receive-side rows, charged by the delivery event on the destination
+  /// lane (row `n` written only by node n's lane or the exclusive slice).
+  std::vector<uint64_t> bytes_received_;
+  std::vector<uint64_t> messages_received_;
   PerturbationFn perturb_;
-  uint64_t total_bytes_ = 0;
-  uint64_t total_bytes_received_ = 0;
-  uint64_t total_messages_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t messages_duplicated_ = 0;
 };
 
 }  // namespace hermes::sim

@@ -1,0 +1,61 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+
+namespace hermes::sim {
+
+ThreadPool::ThreadPool(int num_threads) {
+  threads_.reserve(static_cast<size_t>(std::max(num_threads, 1)));
+  for (int i = 0; i < std::max(num_threads, 1); ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::RunBatch(int count, const std::function<void(int)>& job) {
+  if (count <= 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &job;
+  count_ = count;
+  next_ = 0;
+  done_ = 0;
+  ++generation_;
+  const uint64_t gen = generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this, gen] {
+    return generation_ == gen && done_ == count_;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_generation = 0;
+  for (;;) {
+    work_cv_.wait(lock, [this, seen_generation] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation &&
+                       next_ < count_);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    while (job_ != nullptr && next_ < count_) {
+      const int i = next_++;
+      const std::function<void(int)>* job = job_;
+      lock.unlock();
+      (*job)(i);
+      lock.lock();
+      ++done_;
+      if (done_ == count_) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,52 @@
+#ifndef HERMES_SIM_THREAD_POOL_H_
+#define HERMES_SIM_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hermes::sim {
+
+/// A fixed pool of OS worker threads for the simulator's lane slices.
+/// RunBatch(count, job) runs job(0..count-1) across the workers and
+/// returns once all calls finished; jobs within one batch must touch
+/// disjoint state (the simulator guarantees this by lane partitioning).
+///
+/// This is the only place in the codebase that spawns threads: everything
+/// above src/sim/ stays thread-oblivious (enforced by detlint's
+/// raw-thread rule), which is what makes the parallel schedule's
+/// determinism an invariant rather than an aspiration.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `job(i)` for every i in [0, count) on the worker threads and
+  /// blocks until all complete. Not reentrant.
+  void RunBatch(int count, const std::function<void(int)>& job);
+
+ private:
+  void WorkerMain();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  int count_ = 0;
+  int next_ = 0;
+  int done_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hermes::sim
+
+#endif  // HERMES_SIM_THREAD_POOL_H_

@@ -1,0 +1,191 @@
+// Epoch-barrier edge cases for the parallel simulator (DESIGN.md §5
+// "Parallel simulation"): lanes with no events at an epoch, a lane whose
+// only events are epoch-crossing deliveries staged by another lane, and a
+// crash mid-run under kCrashNoStall where the parked-transaction FIFO must
+// survive multi-threaded execution. Each case runs the identical schedule
+// at threads = 0 (the sequential oracle) and threads > 0 and asserts the
+// pop transcript / digests / degraded state are bit-identical.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/digest.h"
+#include "engine/cluster.h"
+#include "partition/partition_map.h"
+#include "sim/simulator.h"
+
+namespace hermes {
+namespace {
+
+using engine::Cluster;
+using engine::RouterKind;
+using sim::Simulator;
+
+// (time, lane) execution transcript. Lane handlers write only their own
+// per-lane row, so recording is race-free at any thread count; rows are
+// concatenated in lane order afterwards (the barrier's merge order).
+struct Transcript {
+  std::vector<std::vector<std::pair<SimTime, int>>> per_lane;
+  explicit Transcript(int lanes) : per_lane(lanes + 1) {}
+  void Note(const Simulator& sim) {
+    const int lane = sim.current_lane();
+    per_lane[lane == sim::kControlLane ? 0 : lane + 1].emplace_back(
+        sim.Now(), lane);
+  }
+  std::vector<std::pair<SimTime, int>> Merged() const {
+    std::vector<std::pair<SimTime, int>> all;
+    for (const auto& row : per_lane) {
+      all.insert(all.end(), row.begin(), row.end());
+    }
+    return all;
+  }
+};
+
+// Only lane 2 (of four) ever has events; lanes 0, 1 and 3 are empty at
+// every epoch. The barrier must skip them without perturbing the digest,
+// and the run must terminate.
+std::pair<uint64_t, std::vector<std::pair<SimTime, int>>> RunSparse(
+    int threads) {
+  Simulator sim;
+  DecisionDigest digest;
+  sim.set_decision_digest(&digest);
+  sim.ConfigureLanes(4, threads);
+  Transcript t(4);
+
+  sim.Schedule(5, [&] { t.Note(sim); });  // control lane
+  for (SimTime when : {10, 10, 25, 40}) {
+    sim.ScheduleOnLaneAt(2, when, [&] { t.Note(sim); });
+  }
+  sim.RunAll();
+  EXPECT_EQ(sim.events_executed(), 5u);
+  return {digest.value(), t.Merged()};
+}
+
+TEST(EpochBarrierTest, EmptyPartitionsMatchSequentialOracle) {
+  const auto oracle = RunSparse(0);
+  for (int threads : {1, 2, 4}) {
+    const auto got = RunSparse(threads);
+    EXPECT_EQ(got.first, oracle.first) << "digest at threads=" << threads;
+    EXPECT_EQ(got.second, oracle.second) << "order at threads=" << threads;
+  }
+  // The transcript itself: control event first, then lane 2 in time order.
+  ASSERT_EQ(oracle.second.size(), 5u);
+  EXPECT_EQ(oracle.second[0], (std::pair<SimTime, int>{5, sim::kControlLane}));
+  EXPECT_EQ(oracle.second[1], (std::pair<SimTime, int>{10, 2}));
+  EXPECT_EQ(oracle.second[4], (std::pair<SimTime, int>{40, 2}));
+}
+
+// Lane 1 never schedules anything itself: every one of its events is an
+// epoch-crossing delivery staged by a lane-0 event (the migration-delivery
+// shape). Deliveries staged with delay 0 land in the SAME epoch — the
+// barrier applies the staged push and re-enters the lane slice at the same
+// virtual time — so the receiving closure must observe the sender's clock.
+std::pair<uint64_t, std::vector<std::pair<SimTime, int>>> RunDeliveryOnly(
+    int threads) {
+  Simulator sim;
+  DecisionDigest digest;
+  sim.set_decision_digest(&digest);
+  sim.ConfigureLanes(2, threads);
+  Transcript t(2);
+
+  for (SimTime when : {10, 10, 30}) {
+    sim.ScheduleOnLaneAt(0, when, [&] {
+      t.Note(sim);
+      // Same-epoch delivery to lane 1 plus a delayed one: both staged at
+      // the barrier, never pushed directly into a sibling queue.
+      sim.ScheduleOnLane(1, 0, [&] { t.Note(sim); });
+      sim.ScheduleOnLane(1, 7, [&] { t.Note(sim); });
+    });
+  }
+  sim.RunAll();
+  EXPECT_EQ(sim.events_executed(), 9u);
+  return {digest.value(), t.Merged()};
+}
+
+TEST(EpochBarrierTest, DeliveryOnlyLaneMatchesSequentialOracle) {
+  const auto oracle = RunDeliveryOnly(0);
+  for (int threads : {1, 2, 4}) {
+    const auto got = RunDeliveryOnly(threads);
+    EXPECT_EQ(got.first, oracle.first) << "digest at threads=" << threads;
+    EXPECT_EQ(got.second, oracle.second) << "order at threads=" << threads;
+  }
+  // Lane 1's row: the two t=10 same-epoch deliveries fire at 10 (clocks
+  // never rewind, the barrier re-enters the epoch), the delayed pair at
+  // 17, then the t=30 sender's pair at 30 and 37.
+  std::vector<std::pair<SimTime, int>> lane1;
+  for (const auto& e : oracle.second) {
+    if (e.second == 1) lane1.push_back(e);
+  }
+  ASSERT_EQ(lane1.size(), 6u);
+  EXPECT_EQ(lane1[0].first, 10u);
+  EXPECT_EQ(lane1[1].first, 10u);
+  EXPECT_EQ(lane1[2].first, 17u);
+  EXPECT_EQ(lane1[3].first, 17u);
+  EXPECT_EQ(lane1[4].first, 30u);
+  EXPECT_EQ(lane1[5].first, 37u);
+}
+
+// Crash under kCrashNoStall with a chunk-migration stream toward the dead
+// node: chunks park in FIFO order while the node is down and release in
+// that order at rejoin. The parked list (rendered in park order by
+// DegradedDebugString) and the post-drain state must match the sequential
+// oracle at every thread count.
+struct DegradedResult {
+  std::string parked_debug;
+  uint64_t parked_total = 0;
+  uint64_t retry_digest = 0;
+  uint64_t decision = 0;
+  uint64_t state_checksum = 0;
+};
+
+DegradedResult RunDegradedPark(int threads) {
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.num_records = 8'000;
+  config.hermes.fusion_table_capacity = 300;
+  config.sim.threads = threads;
+  Cluster cluster(config, RouterKind::kHermes,
+                  std::make_unique<partition::RangePartitionMap>(
+                      config.num_records, config.num_nodes));
+  cluster.Load();
+
+  cluster.CrashNoStall(1);
+  cluster.SubmitMigrationPlan({{100, 899, 1}});
+  cluster.RunUntil(MsToSim(20));
+
+  DegradedResult r;
+  r.parked_debug = cluster.DegradedDebugString();  // parked list, FIFO
+  EXPECT_GT(cluster.parked_count(), 0u) << r.parked_debug;
+
+  cluster.RejoinNoStall(1);
+  cluster.Drain();
+  EXPECT_EQ(cluster.parked_count(), 0u);
+  for (Key k = 100; k <= 899; ++k) {
+    EXPECT_TRUE(cluster.node(1).store().Contains(k))
+        << "chunk key " << k << " lost at threads=" << threads;
+  }
+  r.parked_total = cluster.degraded_ledger().parked_total();
+  r.retry_digest = cluster.degraded_ledger().RetryDigest();
+  r.decision = cluster.decision_digest().value();
+  r.state_checksum = cluster.StateChecksum();
+  return r;
+}
+
+TEST(EpochBarrierTest, CrashNoStallParkedFifoSurvivesThreads) {
+  const DegradedResult oracle = RunDegradedPark(0);
+  for (int threads : {2, 8}) {
+    const DegradedResult got = RunDegradedPark(threads);
+    EXPECT_EQ(got.parked_debug, oracle.parked_debug)
+        << "parked FIFO diverged at threads=" << threads;
+    EXPECT_EQ(got.parked_total, oracle.parked_total);
+    EXPECT_EQ(got.retry_digest, oracle.retry_digest);
+    EXPECT_EQ(got.decision, oracle.decision);
+    EXPECT_EQ(got.state_checksum, oracle.state_checksum);
+  }
+}
+
+}  // namespace
+}  // namespace hermes

@@ -116,7 +116,7 @@ TEST(NetworkTest, DroppedAttemptsCostSenderNotReceiver) {
   costs.net_us_per_byte = 0.0;
   costs.message_overhead_bytes = 0;
   Network net(&sim, &costs, 2);
-  net.set_perturbation([](NodeId, NodeId, uint64_t, SimTime) {
+  net.set_perturbation([](NodeId, NodeId, uint64_t, SimTime, uint64_t) {
     Perturbation p;
     p.dropped_attempts = 2;
     p.extra_delay_us = 400;  // 2 retransmit timeouts
@@ -145,7 +145,7 @@ TEST(NetworkTest, DuplicatesCostBothEndsButDeliverOnce) {
   CostModel costs;
   costs.message_overhead_bytes = 0;
   Network net(&sim, &costs, 2);
-  net.set_perturbation([](NodeId, NodeId, uint64_t, SimTime) {
+  net.set_perturbation([](NodeId, NodeId, uint64_t, SimTime, uint64_t) {
     Perturbation p;
     p.duplicates = 1;
     return p;
@@ -165,7 +165,7 @@ TEST(NetworkTest, PerturbationIgnoresSelfSends) {
   CostModel costs;
   Network net(&sim, &costs, 2);
   int consulted = 0;
-  net.set_perturbation([&](NodeId, NodeId, uint64_t, SimTime) {
+  net.set_perturbation([&](NodeId, NodeId, uint64_t, SimTime, uint64_t) {
     ++consulted;
     return Perturbation{};
   });

@@ -96,18 +96,23 @@ TEST(TracerTest, EnabledTracerDigestsAndRoutesToNodeRings) {
   t.RecordSpan(EventKind::kPhaseExecute, 2, 2, Key(9), 120, 30);  // ring 3
 
   EXPECT_EQ(t.total_recorded(), 3u);
-  EXPECT_EQ(t.digest().count(), 3u * 7)  // 7 Mix() words per event
-      << "digest no longer covers the full event";
   ASSERT_EQ(t.num_rings(), 4u);  // cluster + nodes 0..2 (auto-grown)
   EXPECT_EQ(t.ring(0).recorded, 1u);
   EXPECT_EQ(t.ring(1).recorded, 1u);
   EXPECT_EQ(t.ring(2).recorded, 0u);
   EXPECT_EQ(t.ring(3).recorded, 1u);
+  // Each ring digests its own events (7 Mix() words per event); the
+  // tracer digest folds the non-empty rings (two words per ring) in ring
+  // order, so emission stays lane-local under the parallel simulator.
+  EXPECT_EQ(t.ring(0).digest.count(), 1u * 7)
+      << "ring digest no longer covers the full event";
+  EXPECT_EQ(t.ring(2).digest.count(), 0u);
+  EXPECT_EQ(t.digest().count(), 3u * 2);
 
   const TraceEvent& span = t.ring(3).events[0];
   EXPECT_EQ(span.when, 120u);
   EXPECT_EQ(span.dur, 30u);
-  EXPECT_EQ(span.seq, 2u);  // global emission order across rings
+  EXPECT_EQ(span.seq, 0u);  // ring-local emission order
   EXPECT_EQ(span.key, Key(9));
 }
 

@@ -1,0 +1,237 @@
+// Tentpole oracle for the parallel simulator: the SAME seeded workload is
+// run with config.sim.threads in {0, 1, 2, 4, 8} — 0 being the sequential
+// oracle mode — and the decision digest, the placement digest and the
+// trace digest must be bit-identical at every thread count, under several
+// hash salts. Three workloads cover the interesting surfaces:
+//
+//   1. a fault-free Hermes run with a mid-run scale-out (routing, fusion
+//      evictions, migrations, dynamic lane growth);
+//   2. a chaos plan (link chaos + a stalling crash/rejoin cycle), whose
+//      perturbation draws are keyed per-link-message and so must be
+//      thread-count-invariant;
+//   3. a degraded kCrashNoStall plan (watchdog aborts, parked-txn FIFO,
+//      retries), the trickiest shared-state surface in the executor.
+//
+// The epoch design makes this hold by construction — each virtual
+// timestamp is drained control-first, then lane-local in (time, seq)
+// order, then barrier-merged in lane order — and this test is the proof.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/digest.h"
+#include "common/hash.h"
+#include "engine/cluster.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "partition/partition_map.h"
+#include "workload/client.h"
+#include "workload/ycsb.h"
+
+namespace hermes {
+namespace {
+
+using engine::Cluster;
+using engine::RouterKind;
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::FaultPlanConfig;
+
+const int kThreadCounts[] = {0, 1, 2, 4, 8};
+
+std::vector<uint64_t> Salts() {
+  return {HashSalt(), 0x9e3779b97f4a7c15ULL, 0xdeadbeefcafef00dULL};
+}
+
+struct RunResult {
+  uint64_t decision = 0;
+  uint64_t decision_count = 0;
+  uint64_t placement = 0;
+  uint64_t trace = 0;
+  uint64_t trace_count = 0;
+  uint64_t state_checksum = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+};
+
+bool operator==(const RunResult& a, const RunResult& b) {
+  return a.decision == b.decision && a.decision_count == b.decision_count &&
+         a.placement == b.placement && a.trace == b.trace &&
+         a.trace_count == b.trace_count &&
+         a.state_checksum == b.state_checksum && a.commits == b.commits &&
+         a.aborts == b.aborts;
+}
+
+ClusterConfig BaseConfig(int threads) {
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.num_records = 6'000;
+  config.hermes.fusion_table_capacity = 250;
+  config.migration_chunk_records = 250;
+  config.obs.trace_enabled = true;  // trace_digest must be covered too
+  config.sim.threads = threads;
+  return config;
+}
+
+FaultInjector::MapFactory MapFactory(const ClusterConfig& config) {
+  const uint64_t records = config.num_records;
+  const int nodes = config.num_nodes;
+  return [records, nodes] {
+    return std::make_unique<partition::RangePartitionMap>(records, nodes);
+  };
+}
+
+RunResult Harvest(Cluster& cluster) {
+  RunResult r;
+  r.decision = cluster.decision_digest().value();
+  r.decision_count = cluster.decision_digest().count();
+  r.placement = cluster.placement_digest().value();
+  r.trace = cluster.trace_digest().value();
+  r.trace_count = cluster.trace_digest().count();
+  r.state_checksum = cluster.StateChecksum();
+  r.commits = cluster.metrics().total_commits();
+  r.aborts = cluster.metrics().total_aborts();
+  return r;
+}
+
+// Workload 1: fault-free, with a mid-run AddNode so a lane appears while
+// the simulation runs (EnsureLanes growth under the barrier).
+RunResult RunPlain(int threads) {
+  ClusterConfig config = BaseConfig(threads);
+  Cluster cluster(config, RouterKind::kHermes, MapFactory(config)());
+  cluster.Load();
+
+  workload::YcsbConfig wl;
+  wl.num_records = config.num_records;
+  wl.num_partitions = config.num_nodes;
+  wl.seed = 20'260'808;
+  workload::YcsbWorkload gen(wl, nullptr);
+  workload::ClosedLoopDriver driver(
+      &cluster, 12, [&gen](int, SimTime now) { return gen.Next(now); });
+  driver.set_stop_time(MsToSim(400));
+  driver.Start();
+
+  cluster.RunUntil(MsToSim(150));
+  cluster.AddNode({{0, config.num_records / 4 - 1, 4}},
+                  /*migrate_cold=*/true);
+  cluster.RunUntil(MsToSim(400));
+  cluster.Drain();
+  return Harvest(cluster);
+}
+
+// Workload 2: chaos — link chaos plus one stalling crash/rejoin cycle.
+RunResult RunChaos(int threads) {
+  ClusterConfig config = BaseConfig(threads);
+  Cluster cluster(config, RouterKind::kHermes, MapFactory(config)());
+  cluster.Load();
+
+  FaultPlanConfig pc;
+  pc.horizon_us = MsToSim(250);
+  pc.num_nodes = config.num_nodes;
+  pc.crash_cycles = 1;
+  pc.min_outage_us = MsToSim(20);
+  pc.max_outage_us = MsToSim(60);
+  pc.link.drop_prob = 0.05;
+  pc.link.duplicate_prob = 0.03;
+  pc.link.max_jitter_us = 300;
+  const FaultPlan plan = FaultPlan::Generate(pc, 41);
+  FaultInjector injector(&cluster, plan, MapFactory(config));
+
+  workload::YcsbConfig wl;
+  wl.num_records = config.num_records;
+  wl.num_partitions = config.num_nodes;
+  wl.seed = 777;
+  workload::YcsbWorkload gen(wl, nullptr);
+  workload::ClosedLoopDriver driver(
+      &cluster, 10, [&gen](int, SimTime now) { return gen.Next(now); });
+  driver.set_stop_time(pc.horizon_us);
+  driver.Start();
+
+  injector.RunUntil(pc.horizon_us);
+  injector.Drain();
+  return Harvest(cluster);
+}
+
+// Workload 3: degraded kCrashNoStall — the cluster keeps sequencing
+// through the outage (watchdog aborts, parked FIFO, deterministic
+// retries all live on the barrier path).
+RunResult RunDegraded(int threads) {
+  ClusterConfig config = BaseConfig(threads);
+  Cluster cluster(config, RouterKind::kHermes, MapFactory(config)());
+  cluster.Load();
+
+  FaultPlanConfig pc;
+  pc.horizon_us = MsToSim(250);
+  pc.num_nodes = config.num_nodes;
+  pc.crash_cycles = 1;
+  pc.min_outage_us = MsToSim(30);
+  pc.max_outage_us = MsToSim(70);
+  pc.no_stall = true;
+  const FaultPlan plan = FaultPlan::Generate(pc, 7);
+  FaultInjector injector(&cluster, plan, MapFactory(config));
+
+  workload::YcsbConfig wl;
+  wl.num_records = config.num_records;
+  wl.num_partitions = config.num_nodes;
+  wl.seed = 1234;
+  workload::YcsbWorkload gen(wl, nullptr);
+  workload::ClosedLoopDriver driver(
+      &cluster, 10, [&gen](int, SimTime now) { return gen.Next(now); });
+  driver.set_stop_time(pc.horizon_us);
+  driver.Start();
+
+  injector.RunUntil(pc.horizon_us);
+  injector.Drain();
+  return Harvest(cluster);
+}
+
+void CheckAcrossThreadsAndSalts(const char* name,
+                                RunResult (*run)(int threads)) {
+  const uint64_t old_salt = HashSalt();
+  for (uint64_t salt : Salts()) {
+    SetHashSalt(salt);
+    const RunResult oracle = run(/*threads=*/0);
+    ASSERT_GT(oracle.commits, 50u) << name << ": workload too small";
+    ASSERT_GT(oracle.trace_count, 0u) << name << ": tracing was off";
+    std::printf("%s salt=0x%016llx threads=0 decision=%016llx "
+                "placement=%016llx trace=%016llx commits=%llu\n",
+                name, static_cast<unsigned long long>(salt),
+                static_cast<unsigned long long>(oracle.decision),
+                static_cast<unsigned long long>(oracle.placement),
+                static_cast<unsigned long long>(oracle.trace),
+                static_cast<unsigned long long>(oracle.commits));
+    for (int threads : kThreadCounts) {
+      if (threads == 0) continue;
+      const RunResult got = run(threads);
+      EXPECT_TRUE(oracle == got)
+          << name << " diverged at threads=" << threads << " salt=0x"
+          << std::hex << salt << ": decision " << got.decision << " vs "
+          << oracle.decision << ", placement " << got.placement << " vs "
+          << oracle.placement << ", trace " << got.trace << " vs "
+          << oracle.trace << std::dec << " (trace events " << got.trace_count
+          << " vs " << oracle.trace_count << "), commits " << got.commits
+          << " vs " << oracle.commits << ", aborts " << got.aborts << " vs "
+          << oracle.aborts;
+      if (!(oracle == got)) break;  // one divergence is enough signal
+    }
+  }
+  SetHashSalt(old_salt);
+}
+
+TEST(SequentialVsParallelDigestTest, PlainWorkload) {
+  CheckAcrossThreadsAndSalts("plain", &RunPlain);
+}
+
+TEST(SequentialVsParallelDigestTest, ChaosWorkload) {
+  CheckAcrossThreadsAndSalts("chaos", &RunChaos);
+}
+
+TEST(SequentialVsParallelDigestTest, DegradedNoStallWorkload) {
+  CheckAcrossThreadsAndSalts("degraded", &RunDegraded);
+}
+
+}  // namespace
+}  // namespace hermes

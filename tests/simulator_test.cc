@@ -63,5 +63,64 @@ TEST(SimulatorTest, CountsExecutedEvents) {
   EXPECT_EQ(sim.events_executed(), 7u);
 }
 
+// Regression for the ScheduleAt past-time semantics: a past `when` clamps
+// to the *caller's epoch-local clock* and the clamped event takes the next
+// sequence number on the caller's lane — so the pop transcript fed to the
+// decision digest is exactly (100, seq 0), (100, seq 1) on the control
+// lane. Pinned by replaying MixPop's mixing scheme by hand; a change to
+// either the clamp rule or the digest total order breaks this test.
+TEST(SimulatorTest, ScheduleAtPastClampDigestTranscript) {
+  Simulator sim;
+  DecisionDigest digest;
+  sim.set_decision_digest(&digest);
+  SimTime clamped_fire = 0;
+  sim.Schedule(100, [&] {
+    sim.ScheduleAt(40, [&] { clamped_fire = sim.Now(); });  // 40 < now=100
+  });
+  sim.RunAll();
+  EXPECT_EQ(clamped_fire, 100u);
+
+  DecisionDigest expected;  // MixPop: Mix(when); Mix((lane+1)<<40 ^ seq)
+  expected.Mix(100);        // outer event: control lane (tag 0), seq 0
+  expected.Mix((uint64_t{0} << 40) ^ 0);
+  expected.Mix(100);        // clamped event: same epoch, seq 1
+  expected.Mix((uint64_t{0} << 40) ^ 1);
+  EXPECT_EQ(digest.value(), expected.value());
+  EXPECT_EQ(digest.count(), expected.count());
+}
+
+// The same clamp from inside a node-lane event: the reference clock is the
+// lane's epoch clock (NOT some global "furthest lane" time), the clamped
+// event stays on the caller's lane, and the transcript is identical at
+// every thread count.
+TEST(SimulatorTest, ScheduleAtPastClampOnLaneIsThreadCountInvariant) {
+  auto run = [](int threads) {
+    Simulator sim;
+    DecisionDigest digest;
+    sim.set_decision_digest(&digest);
+    sim.ConfigureLanes(2, threads);
+    SimTime fire = 0;
+    int fire_lane = -99;
+    sim.ScheduleOnLaneAt(1, 60, [&] {
+      sim.ScheduleAt(20, [&] {  // past; clamps to lane 1's clock (60)
+        fire = sim.Now();
+        fire_lane = sim.current_lane();
+      });
+    });
+    sim.RunAll();
+    EXPECT_EQ(fire, 60u) << "threads=" << threads;
+    EXPECT_EQ(fire_lane, 1) << "threads=" << threads;
+    return digest.value();
+  };
+
+  DecisionDigest expected;
+  expected.Mix(60);  // outer lane-1 event (tag 2), seq 0
+  expected.Mix((uint64_t{2} << 40) ^ 0);
+  expected.Mix(60);  // clamped event, same epoch, lane 1, seq 1
+  expected.Mix((uint64_t{2} << 40) ^ 1);
+  EXPECT_EQ(run(0), expected.value());
+  EXPECT_EQ(run(2), expected.value());
+}
+
 }  // namespace
 }  // namespace hermes::sim

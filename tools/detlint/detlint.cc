@@ -22,6 +22,12 @@
 //                    as the virtual-time authority)
 //   pointer-order    ordered containers or comparators keyed on pointer
 //                    values (allocation-address order is nondeterministic)
+//   raw-thread       std::thread / mutexes / atomics / futures (or their
+//                    headers) outside src/sim/. All real concurrency lives
+//                    behind the epoch-synchronized simulator (DESIGN.md
+//                    "Parallel simulation"); engine/routing code must stay
+//                    single-threaded-per-lane so the thread count can
+//                    never change an outcome
 //   obs-decision     tracer/telemetry state feeding a decision: a return
 //                    expression or if/while condition in src/core/ or
 //                    src/routing/ that mentions obs::, a tracer, or a
@@ -279,6 +285,16 @@ class Linter {
         R"(\b(?:std\s*::\s*)?(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?|ranlux\w+|knuth_b)\s+[A-Za-z_]\w*\s*;)");
     scan_regex(kUnseeded, "unseeded-rng");
 
+    // Raw threading primitives outside src/sim/: the simulator is the only
+    // component allowed to spawn threads or synchronize; everything else
+    // must express concurrency as lanes + Defer() so execution order stays
+    // a pure function of the event DAG.
+    if (!f.sim_exempt) {
+      static const std::regex kRawThread(
+          R"(\bstd\s*::\s*(?:thread|jthread|mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable(?:_any)?|atomic(?:_\w+)?|lock_guard|unique_lock|scoped_lock|shared_lock|future|promise|async|barrier|latch|counting_semaphore|binary_semaphore)\b|#\s*include\s*<(?:thread|mutex|atomic|condition_variable|future|shared_mutex|stop_token|semaphore|barrier|latch)>)");
+      scan_regex(kRawThread, "raw-thread");
+    }
+
     if (!f.sim_exempt) {
       static const std::regex kWallClock(
           R"(\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|\bgettimeofday\b|\bclock_gettime\b|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|\blocaltime\b|\bgmtime\b)");
@@ -382,8 +398,9 @@ class Linter {
 };
 
 const std::set<std::string> kKnownRules = {
-    "unordered-iter", "raw-unordered", "std-rand",     "random-device",
-    "unseeded-rng",   "wall-clock",    "pointer-order", "obs-decision"};
+    "unordered-iter", "raw-unordered", "std-rand",      "random-device",
+    "unseeded-rng",   "wall-clock",    "pointer-order", "obs-decision",
+    "raw-thread"};
 
 }  // namespace
 
