@@ -1,20 +1,11 @@
 #include "common/hash.h"
 
-#include <cstdlib>
+#include "common/env.h"
 
 namespace hermes {
 namespace detail {
-namespace {
 
-uint64_t SaltFromEnv() {
-  const char* env = std::getenv("HERMES_HASH_SALT");
-  if (env == nullptr || *env == '\0') return 0;
-  return std::strtoull(env, nullptr, 0);
-}
-
-}  // namespace
-
-uint64_t g_hash_salt = SaltFromEnv();
+uint64_t g_hash_salt = EnvReadU64("HERMES_HASH_SALT", 0);
 
 }  // namespace detail
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/env.h"
 #include "common/rng.h"
 #include "obs/export.h"
 #include "routing/calvin_router.h"
@@ -63,9 +64,7 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
   // overrides it so scripts can sweep thread counts without config edits.
   int sim_threads = config_.sim.threads;
   if (sim_threads == 0) {
-    if (const char* env = std::getenv("HERMES_SIM_THREADS")) {
-      sim_threads = static_cast<int>(std::strtol(env, nullptr, 10));
-    }
+    sim_threads = EnvReadInt("HERMES_SIM_THREADS", 0);
   }
   sim_.ConfigureLanes(config_.num_nodes, sim_threads);
   nodes_.reserve(config_.num_nodes);
@@ -103,12 +102,8 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
                     static_cast<size_t>(config_.num_nodes));
   tracer_.set_clock([this] { return sim_.Now(); });
   if (config_.obs.trace_enabled) tracer_.set_enabled(true);
-  if (const char* env = std::getenv("HERMES_TRACE")) {
-    if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
-      tracer_.set_enabled(true);
-    }
-  }
-  if (const char* env = std::getenv("HERMES_TRACE_KEY")) {
+  if (EnvReadBool("HERMES_TRACE")) tracer_.set_enabled(true);
+  if (const char* env = EnvRead("HERMES_TRACE_KEY")) {
     tracer_.set_mirror_key(std::strtoull(env, nullptr, 10));
   }
   executor_.set_tracer(&tracer_);

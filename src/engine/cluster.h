@@ -168,7 +168,8 @@ class Cluster {
   /// Adds a node. `cold_plan` re-homes ranges onto the new node; when
   /// `migrate_cold` is true the ranges move via chunk-migration
   /// transactions (Squall-style), otherwise only hot data moves via the
-  /// fusion table.
+  /// fusion table. Called between events (control lane), never lane-side.
+  // detlint:runs(exclusive)
   NodeId AddNode(const std::vector<RangeMove>& cold_plan, bool migrate_cold);
 
   /// Removes a node, re-homing its ranges per `cold_plan`.
@@ -194,11 +195,13 @@ class Cluster {
   storage::Checkpoint TakeCheckpoint() const;
 
   /// Restores cluster state from a checkpoint (call instead of Load()).
+  // detlint:runs(exclusive)
   void RestoreFromCheckpoint(const storage::Checkpoint& checkpoint);
 
   /// Replays command-log batches (e.g. after RestoreFromCheckpoint) and
   /// drains. The deterministic routing and execution reproduce the exact
   /// pre-crash state.
+  // detlint:runs(exclusive)
   void ReplayBatches(const std::vector<Batch>& batches);
 
   /// Placement-sensitive checksum over all stores (replica equality).

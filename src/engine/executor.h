@@ -219,12 +219,15 @@ class TxnExecutor {
   /// master committed, acknowledges. Runs in exclusive context (Defer) —
   /// masters commit on their own node lanes, so the shared counter and the
   /// cross-node acknowledgment work may not run lane-side.
+  // detlint:requires(exclusive)
   void OnMasterDone(TxnId id);
   /// Client acknowledgment + return shipments, fired once when every
   /// master has committed. Exclusive context only.
+  // detlint:requires(exclusive)
   void Acknowledge(Active& a);
   /// Destroys the transaction state once masters and participants are all
-  /// done.
+  /// done. Touches cross-node per-txn state, so exclusive context only.
+  // detlint:requires(exclusive)
   void MaybeComplete(Active& a);
 
   /// True when degraded mode is active and `node` is currently down.
@@ -237,11 +240,14 @@ class TxnExecutor {
   void Freeze(Active& a);
   /// Deterministic periodic sweep: aborts every frozen, un-acknowledged
   /// transaction (sorted by id), re-arming while any node is down.
+  /// Scheduled on the control lane only, never called lane-side.
+  // detlint:runs(exclusive)
   void WatchdogSweep();
   /// UNDO-aborts one frozen transaction: classifies its unfinished
   /// migrations (reship / strand / displace), releases its locks
   /// everywhere, and hands (request, callback, stranded keys) to the
   /// cluster's abort handler.
+  // detlint:requires(exclusive)
   void AbortActive(Active& a);
 
   /// Registers a record as extracted at `from` and riding a message to

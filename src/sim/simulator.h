@@ -57,9 +57,11 @@ class Simulator {
   /// threads (0 = run lanes inline on the calling thread). Call before
   /// scheduling lane work; may be called again only to grow the lane
   /// count or keep it equal.
+  // detlint:runs(exclusive)
   void ConfigureLanes(int num_lanes, int threads);
 
   /// Grows the lane count (dynamic provisioning). Exclusive context only.
+  // detlint:requires(exclusive)
   void EnsureLanes(int num_lanes);
 
   int num_lanes() const { return static_cast<int>(lanes_.size()); }

@@ -1,0 +1,6 @@
+// detlint-fixture: path=src/engine/annotation_errors.cc
+// detlint:requires(shared)
+void FinishTxn(uint64_t id);
+
+// detlint:runs(exclusive)
+int kLimit = 4;

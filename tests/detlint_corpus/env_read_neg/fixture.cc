@@ -1,0 +1,2 @@
+// detlint-fixture: path=src/common/env.cc
+const char* EnvRead(const char* name) { return std::getenv(name); }

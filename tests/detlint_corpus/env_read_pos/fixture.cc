@@ -1,0 +1,2 @@
+// detlint-fixture: path=src/engine/env_read_pos.cc
+const char* Salt() { return std::getenv("HERMES_HASH_SALT"); }

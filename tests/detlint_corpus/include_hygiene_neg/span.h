@@ -1,0 +1,8 @@
+// detlint-fixture: path=src/common/span.h
+#include <vector>
+
+template <class T>
+struct Span {
+  const T* data;
+  int size;
+};

@@ -1,0 +1,2 @@
+// detlint-fixture: path=src/engine/ihn_user.cc
+#include "common/span.h"

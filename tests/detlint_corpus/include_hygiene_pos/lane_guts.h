@@ -1,0 +1,4 @@
+// detlint-fixture: path=src/sim/lane_guts.h
+#include <thread>
+
+inline void Spin() {}

@@ -1,0 +1,12 @@
+// detlint-fixture: path=src/engine/lane_confinement_neg.cc
+// detlint:requires(exclusive)
+void FinishTxn(uint64_t id);
+
+// detlint:runs(exclusive)
+void BarrierStep(uint64_t id) {
+  FinishTxn(id);
+}
+
+void LaneStep(Simulator& sim, uint64_t id) {
+  sim.Defer([id] { FinishTxn(id); });
+}

@@ -1,0 +1,7 @@
+// detlint-fixture: path=src/engine/lane_confinement_pos.cc
+// detlint:requires(exclusive)
+void FinishTxn(uint64_t id);
+
+void LaneStep(uint64_t id) {
+  FinishTxn(id);
+}

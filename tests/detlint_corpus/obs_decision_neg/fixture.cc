@@ -1,0 +1,6 @@
+// detlint-fixture: path=src/core/obs_decision_neg.cc
+void Note(uint64_t key) {
+  if (HERMES_TRACE_ACTIVE(key)) {
+    Emit(key);
+  }
+}

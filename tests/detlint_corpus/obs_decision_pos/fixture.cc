@@ -1,0 +1,5 @@
+// detlint-fixture: path=src/routing/obs_decision_pos.cc
+bool Prefer(uint64_t key) {
+  if (tracer_.count(key) > 0) return true;
+  return obs::SampleRate() > 1;
+}

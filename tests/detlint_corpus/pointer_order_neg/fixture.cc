@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/core/pointer_order_neg.cc
+std::map<std::string, int> rank_;
+std::set<uint64_t> live_;

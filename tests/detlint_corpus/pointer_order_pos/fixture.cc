@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/core/pointer_order_pos.cc
+std::map<const Node*, int> rank_;
+std::set<Txn*> live_;

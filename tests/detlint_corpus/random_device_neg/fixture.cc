@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/core/random_device_neg.cc
+hermes::Rng rng(config_seed);
+// std::random_device belongs in comments only

@@ -1,0 +1,2 @@
+// detlint-fixture: path=src/core/random_device_pos.cc
+std::random_device rd;

@@ -1,0 +1,4 @@
+// detlint-fixture: path=src/sim/raw_thread_neg.cc
+#include <thread>
+
+std::thread worker_;

@@ -1,0 +1,4 @@
+// detlint-fixture: path=src/engine/raw_thread_pos.cc
+#include <mutex>
+
+std::mutex mu_;

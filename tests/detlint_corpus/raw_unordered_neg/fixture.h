@@ -1,0 +1,5 @@
+// detlint-fixture: path=src/common/hash.h
+#include <unordered_map>
+
+template <class K, class V>
+using Base = std::unordered_map<K, V, SaltedHash<K>>;

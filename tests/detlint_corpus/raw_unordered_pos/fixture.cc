@@ -1,0 +1,4 @@
+// detlint-fixture: path=src/core/raw_unordered_pos.cc
+#include <unordered_map>
+
+std::unordered_map<int, int> m_;

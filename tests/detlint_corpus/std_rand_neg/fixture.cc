@@ -1,0 +1,4 @@
+// detlint-fixture: path=src/core/std_rand_neg.cc
+int rand_calls = 0;
+void Use(int rand) { rand_calls += rand; }
+// a comment naming std::rand() is not a finding

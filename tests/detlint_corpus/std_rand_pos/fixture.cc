@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/core/std_rand_pos.cc
+int Roll() { return std::rand() % 6; }
+void Seed() { srand(42); }

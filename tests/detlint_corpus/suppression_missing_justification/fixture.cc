@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/core/suppression_missing_justification.cc
+// detlint:allow(std-rand)
+int Roll() { return std::rand() % 6; }

@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/core/suppression_unknown_rule.cc
+// detlint:allow(hash-order) legacy rule name that no longer exists
+int x = 0;

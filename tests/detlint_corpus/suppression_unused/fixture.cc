@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/core/suppression_unused.cc
+// detlint:allow(std-rand) generator call was removed long ago
+int Roll() { return 4; }

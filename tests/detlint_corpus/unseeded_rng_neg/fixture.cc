@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/core/unseeded_rng_neg.cc
+std::mt19937 gen(config_seed);
+std::mt19937_64 wide{0x9e3779b97f4a7c15ull};

@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/core/unseeded_rng_pos.cc
+std::mt19937 gen;
+std::default_random_engine eng;

@@ -1,0 +1,2 @@
+// detlint-fixture: path=src/sim/wall_clock_neg.cc
+uint64_t Anchor() { return std::chrono::steady_clock::now().time_since_epoch().count(); }

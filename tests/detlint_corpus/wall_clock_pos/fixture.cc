@@ -1,0 +1,3 @@
+// detlint-fixture: path=src/engine/wall_clock_pos.cc
+uint64_t NowUs() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+long Stamp() { return time(nullptr); }
