@@ -51,8 +51,12 @@ echo "== $MICRO =="
 # Merge: the fig06 summary rows ("  <system> <mean> (<delta>% vs calvin)")
 # become {"system": ..., "mean_txn_per_window": ..., "vs_calvin_pct": ...}
 # and the google-benchmark JSON is embedded whole under "micro_routing".
+# host_cpus and hermes_sim_threads are stamped so trajectory tooling can
+# discount numbers measured on a starved container (ROADMAP's PR-6 caveat)
+# or with the parallel simulator engaged.
 python3 - "$fig06_txt" "$micro_json" "$OUT" <<'EOF'
 import json
+import os
 import re
 import sys
 
@@ -81,8 +85,12 @@ with open(micro_path) as f:
     micro = json.load(f)
 
 with open(out_path, "w") as f:
-    json.dump({"fig06_overall": summary, "micro_routing": micro}, f,
-              indent=2, sort_keys=True)
+    json.dump({
+        "host_cpus": os.cpu_count(),
+        "hermes_sim_threads": int(os.environ.get("HERMES_SIM_THREADS", "0")),
+        "fig06_overall": summary,
+        "micro_routing": micro,
+    }, f, indent=2, sort_keys=True)
     f.write("\n")
 EOF
 
@@ -114,7 +122,11 @@ def wall_seconds(binary, threads):
                    stdout=subprocess.DEVNULL)
     return round(time.monotonic() - start, 3)
 
-report = {"host_cpus": os.cpu_count(), "benches": {}}
+report = {
+    "host_cpus": os.cpu_count(),
+    "hermes_sim_threads": int(os.environ.get("HERMES_SIM_THREADS", "0")),
+    "benches": {},
+}
 for binary in (fig06, scale):
     name = os.path.basename(binary)
     rows = []

@@ -33,8 +33,10 @@ BUILD_DIR="${1:-build}"
 TEST_BIN="$BUILD_DIR/tests/determinism_perturbation_test"
 CHAOS_BIN="$BUILD_DIR/tests/chaos_property_test"
 TRACE_BIN="$BUILD_DIR/tests/trace_determinism_test"
+LEASE_BIN="$BUILD_DIR/tests/replica_lease_test"
 
-if [ ! -x "$TEST_BIN" ] || [ ! -x "$CHAOS_BIN" ] || [ ! -x "$TRACE_BIN" ]; then
+if [ ! -x "$TEST_BIN" ] || [ ! -x "$CHAOS_BIN" ] || [ ! -x "$TRACE_BIN" ] \
+    || [ ! -x "$LEASE_BIN" ]; then
   echo "error: $TEST_BIN or $CHAOS_BIN not found — build first:" >&2
   echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
   exit 2
@@ -136,3 +138,34 @@ if [ "$trace_count" -ne 1 ]; then
 fi
 
 echo "OK: trace digest $trace_digests identical across all env and in-process salts"
+
+# Replication profile: the replica-lease digest oracle reruns a
+# read-heavy leased workload (with a mid-run crash/rejoin lapsing every
+# lease) per in-process salt and prints a REPLICATION_PROFILE line —
+# decision/placement/trace digests, replica checksum, state checksum,
+# commit and lease counters. The test's sim.threads stays 0 (oracle), so
+# HERMES_SIM_THREADS steers the parallel simulator here: every line
+# across env salts x thread counts must be one value.
+lease_out="$(mktemp)"
+trap 'rm -f "$out" "$chaos_out" "$trace_out" "$lease_out"' EXIT
+
+for salt in $SALTS; do
+  for threads in $SIM_THREADS; do
+    echo "== replication HERMES_HASH_SALT=$salt HERMES_SIM_THREADS=$threads =="
+    HERMES_HASH_SALT="$salt" HERMES_SIM_THREADS="$threads" "$LEASE_BIN" \
+      --gtest_filter='ReplicaLeaseTest.DigestsInvariantAcrossThreadsAndSalts' \
+      | tee -a "$lease_out"
+  done
+done
+
+lease_profiles="$(sed -n 's/^REPLICATION_PROFILE //p' "$lease_out" | sort -u)"
+lease_count="$(printf '%s\n' "$lease_profiles" | grep -c . || true)"
+
+if [ "$lease_count" -ne 1 ]; then
+  echo "FAIL: expected one replication profile across salts x threads, got $lease_count:" >&2
+  printf '%s\n' "$lease_profiles" >&2
+  exit 1
+fi
+
+echo "OK: replication profile identical across env salts x sim thread counts ($SIM_THREADS):"
+echo "  $lease_profiles"

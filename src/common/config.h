@@ -77,6 +77,33 @@ struct HermesConfig {
   bool backward_pass = true;
 };
 
+/// Replica-lease parameters (adaptive read-replication for hot keys; see
+/// DESIGN.md §5 "Replica leases"). Every decision derived from these knobs
+/// is a pure function of (routing plan, config, seed): grants and revokes
+/// are evaluated at batch boundaries from windowed access counters, holders
+/// are the lowest-id alive candidates — never hash order, never wall clock.
+struct ReplicationConfig {
+  /// Master switch. Off by default: the lease subsystem costs nothing and
+  /// changes no digest when disabled.
+  bool enabled = false;
+  /// Read-only copies per leased key (clamped to the candidate set minus
+  /// the primary).
+  int replicas = 3;
+  /// Reads a key must accumulate inside the decay window to be granted a
+  /// lease.
+  uint32_t read_hot_threshold = 8;
+  /// Writes inside the window above which a lease is revoked (and a grant
+  /// suppressed): read-mostly keys keep their leases, write-heavy keys
+  /// fall back to plain migration.
+  uint32_t write_revoke_threshold = 2;
+  /// Batches between counter decays (counters halve), bounding how long
+  /// stale popularity lingers.
+  uint64_t window_batches = 8;
+  /// Upper bound on concurrently leased keys; the oldest grant is revoked
+  /// first when full.
+  size_t max_leases = 64;
+};
+
 /// Degraded-mode (no-stall crash) parameters. Every value feeds a pure
 /// function of (txn id, attempt, config) or of virtual time, so retry
 /// slots, watchdog sweeps and reclaim deadlines are identical across
@@ -157,6 +184,7 @@ struct ClusterConfig {
   /// retry (§2.1). Drawn from the cluster's seeded RNG.
   double ollp_stale_prob = 0.05;
   DegradedConfig degraded;
+  ReplicationConfig replication;
   ObsConfig obs;
   SimConfig sim;
 };

@@ -45,6 +45,18 @@ RoutePlan HermesRouter::RouteBatch(const Batch& batch) {
   plan.routing_cost_us = AnalysisCost(batch.txns.size());
   plan.txns.reserve(batch.txns.size());
 
+  // Replica-lease batch boundary: lapse / revoke / grant decisions are
+  // evaluated before any transaction of the batch routes, and ride the
+  // first routed transaction so dispatch order puts them ahead of every
+  // access that depends on them.
+  lease_ops_.clear();
+  if (lease_table_.enabled()) {
+    const MembershipView* view = membership();
+    lease_table_.BeginBatch(view == nullptr ? 0 : view->epoch(),
+                            view == nullptr || !view->any_down(),
+                            candidate_nodes(), *ownership_, &lease_ops_);
+  }
+
   // Special transactions (provisioning markers, chunk migrations) are
   // barriers: regular transactions are reordered only within the runs
   // between them, preserving the relative order the total-order protocol
@@ -64,6 +76,10 @@ RoutePlan HermesRouter::RouteBatch(const Batch& batch) {
     }
   }
   RouteSegment(segment, &plan.txns);
+  if (!lease_ops_.empty() && !plan.txns.empty()) {
+    std::vector<routing::ReplicaOp>& ops = plan.txns.front().replica_ops;
+    ops.insert(ops.begin(), lease_ops_.begin(), lease_ops_.end());
+  }
   return plan;
 }
 
@@ -633,6 +649,27 @@ RoutedTxn HermesRouter::Materialize(const TxnRequest& txn, NodeId x) {
     if (is_write && cur != x) {
       a.new_owner = x;
       ++stats_.migrations;
+    }
+    if (lease_table_.enabled()) {
+      // Feed the windowed popularity counters, and serve reads of leased
+      // keys from the route's own copy: no shipment, no remote wait. The
+      // primary record (and its lock order) is untouched — the shared
+      // lock moves to the reading master itself.
+      if (is_write) {
+        lease_table_.ObserveWrite(k);
+      } else {
+        // Only remote reads feed the hotness counter: a lease localizes
+        // reads arriving from non-owner masters, so reads that are
+        // already local carry no signal (a locally hot key would pay
+        // write fan-out for zero read benefit).
+        if (cur != x) lease_table_.ObserveRead(k);
+        if (cur != x && lease_table_.IsHolder(k, x)) {
+          a.owner = x;
+          a.ship_to_master = false;
+          a.replica_read = true;
+          ++stats_.replica_reads;
+        }
+      }
     }
     if (a.ship_to_master) ++stats_.remote_reads;
     rt.accesses.push_back(a);

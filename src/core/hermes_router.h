@@ -7,6 +7,7 @@
 
 #include "common/config.h"
 #include "core/fusion_table.h"
+#include "core/lease_table.h"
 #include "routing/batch_scratch.h"
 #include "routing/router.h"
 
@@ -45,6 +46,17 @@ class HermesRouter : public routing::Router {
   const FusionTable& fusion_table() const { return fusion_table_; }
   FusionTable& mutable_fusion_table() { return fusion_table_; }
 
+  /// Enables replica-lease decisions (DESIGN.md §5 "Replica leases").
+  /// `config` must outlive the router; decisions stay a pure function of
+  /// (batch stream, membership schedule, config).
+  void EnableReplication(const ReplicationConfig* config) {
+    lease_table_.Configure(config);
+  }
+  const LeaseTable& lease_table() const { return lease_table_; }
+  /// Drops all lease bookkeeping (leases + hotness counters) but keeps the
+  /// configuration; a checkpoint restore starts replay from this state.
+  void ResetReplication() { lease_table_.Reset(); }
+
   /// Cumulative counters for tests and benches.
   struct Stats {
     uint64_t routed_txns = 0;
@@ -53,6 +65,7 @@ class HermesRouter : public routing::Router {
     uint64_t evictions = 0;      ///< fusion-table evictions
     uint64_t reroutes = 0;       ///< step-3 load-balancing moves
     uint64_t reorders = 0;       ///< txns whose position changed in step 1
+    uint64_t replica_reads = 0;  ///< reads served from a local lease copy
   };
   const Stats& stats() const { return stats_; }
 
@@ -99,8 +112,12 @@ class HermesRouter : public routing::Router {
 
   HermesConfig config_;
   FusionTable fusion_table_;
+  LeaseTable lease_table_;
   Stats stats_;
   obs::Tracer* tracer_ = nullptr;
+  /// Batch-boundary lease ops, attached to the batch's first routed txn
+  /// (scratch; cleared per batch).
+  std::vector<routing::ReplicaOp> lease_ops_;
 
   /// Per-batch working set of the optimized RouteSegment and Materialize,
   /// owned by the router so capacity persists across batches. Every

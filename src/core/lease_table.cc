@@ -1,0 +1,157 @@
+#include "core/lease_table.h"
+
+#include <algorithm>
+
+namespace hermes::core {
+
+namespace {
+
+using routing::ReplicaOp;
+using routing::ReplicaOpKind;
+
+void EmitRevokeAll(Key key, const LeaseTable::Lease& lease,
+                   std::vector<ReplicaOp>* ops) {
+  for (NodeId holder : lease.holders) {
+    ReplicaOp op;
+    op.key = key;
+    op.node = holder;
+    op.kind = ReplicaOpKind::kRevoke;
+    ops->push_back(op);
+  }
+}
+
+}  // namespace
+
+void LeaseTable::BeginBatch(uint32_t membership_epoch, bool all_alive,
+                            const std::vector<NodeId>& candidates,
+                            const partition::OwnershipMap& ownership,
+                            std::vector<ReplicaOp>* ops) {
+  if (!enabled()) return;
+
+  // Membership moved since the last batch: lapse everything. The engine
+  // side lapses its copies at the transition itself (Cluster marks the
+  // node down/up), so by the time these revokes dispatch they are mostly
+  // bookkeeping — but they are what makes the *routing* state converge on
+  // the same schedule in live and replayed runs.
+  if (membership_epoch != last_epoch_) {
+    last_epoch_ = membership_epoch;
+    for (const auto& [key, lease] : leases_) {
+      EmitRevokeAll(key, lease, ops);
+      ++stats_.lapses;
+    }
+    leases_.clear();
+  }
+
+  // Window decay: halve every counter, dropping the ones that reach zero,
+  // so stale popularity ages out instead of pinning leases forever.
+  if (++batches_seen_ % std::max<uint64_t>(config_->window_batches, 1) == 0) {
+    window_reads_ /= 2;
+    window_writes_ /= 2;
+    for (auto it = counters_.begin(); it != counters_.end();) {
+      it->second.reads /= 2;
+      it->second.writes /= 2;
+      if (it->second.reads == 0 && it->second.writes == 0) {
+        it = counters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Write-heavy revokes, in key order. A lease pays for itself only while
+  // the remote reads it absorbs outweigh the write fan-out it forces —
+  // and a fan-out apply rides the already-sequenced batch stream (one
+  // storage op per holder) while every absorbed read saves a full
+  // point-to-point shipment, several times costlier. Revoke on the hard
+  // write threshold and on write parity (writes >= reads) — a margin
+  // below the raw cost break-even, which buys headroom for the install
+  // churn and stale-window fan-out the counters don't see — with a
+  // writes >= 4 floor so a handful of stray writes cannot churn a lease.
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    const auto cit = counters_.find(it->first);
+    const uint32_t reads = cit == counters_.end() ? 0 : cit->second.reads;
+    const uint32_t writes = cit == counters_.end() ? 0 : cit->second.writes;
+    if (writes > config_->write_revoke_threshold ||
+        (writes >= 4 && writes >= reads)) {
+      EmitRevokeAll(it->first, it->second, ops);
+      ++stats_.revokes;
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Grants, in key order, while capacity lasts. Suppressed entirely while
+  // any node is down: the copy source (or a would-be holder) could be the
+  // dead node, and a lease that starts mid-outage would only lapse at the
+  // rejoin epoch anyway.
+  if (!all_alive || candidates.size() < 2) return;
+  // Global read-mostly gate: when writes make up more than a third of the
+  // observed window (counting every write access against only the remote
+  // reads a lease could absorb), new leases cannot earn back their
+  // install fan-out before the write stream invalidates them — stop
+  // extending replication and let the revoke rules drain what is left.
+  if (2 * window_writes_ >= window_reads_) return;
+  for (const auto& [key, c] : counters_) {
+    if (leases_.size() >= config_->max_leases) break;
+    if (c.reads < config_->read_hot_threshold) continue;
+    if (c.writes > config_->write_revoke_threshold) continue;
+    // Same cost balance as the revoke side: don't grant a lease whose
+    // write fan-out would already outweigh the reads it localizes.
+    if (c.writes >= c.reads) continue;
+    if (leases_.count(key) > 0) continue;
+    const NodeId primary = ownership.Owner(key);
+    // The primary is always a holder: its "copy" snapshots the local
+    // record for free, and it keeps the key locally readable at the old
+    // home when a later write migrates the primary onto another holder
+    // (without it, that node would fall back to remote ships for the
+    // rest of the lease). Remaining slots go to the lowest-id alive
+    // candidates.
+    Lease lease;
+    lease.holders.push_back(primary);
+    for (NodeId n : candidates) {
+      if (n == primary) continue;
+      if (lease.holders.size() >= static_cast<size_t>(
+                                      std::max(config_->replicas, 1))) {
+        break;
+      }
+      lease.holders.push_back(n);
+    }
+    if (lease.holders.size() < 2) continue;
+    std::sort(lease.holders.begin(), lease.holders.end());
+    for (NodeId holder : lease.holders) {
+      ReplicaOp op;
+      op.key = key;
+      op.node = holder;
+      op.source = primary;
+      op.kind = ReplicaOpKind::kInstall;
+      ops->push_back(op);
+    }
+    ++stats_.grants;
+    leases_.emplace(key, std::move(lease));
+  }
+}
+
+bool LeaseTable::IsHolder(Key key, NodeId node) const {
+  const auto it = leases_.find(key);
+  if (it == leases_.end()) return false;
+  return std::binary_search(it->second.holders.begin(),
+                            it->second.holders.end(), node);
+}
+
+const LeaseTable::Lease* LeaseTable::Find(Key key) const {
+  const auto it = leases_.find(key);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+void LeaseTable::Reset() {
+  counters_.clear();
+  leases_.clear();
+  window_reads_ = 0;
+  window_writes_ = 0;
+  batches_seen_ = 0;
+  last_epoch_ = 0;
+}
+
+}  // namespace hermes::core
+

@@ -1,0 +1,115 @@
+#ifndef HERMES_CORE_LEASE_TABLE_H_
+#define HERMES_CORE_LEASE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "routing/router.h"
+
+namespace hermes::core {
+
+/// Router-side replica-lease bookkeeping (DESIGN.md §5 "Replica leases").
+///
+/// The prescient router already sees every access of every batch before it
+/// executes, so lease decisions can be made the same way routing decisions
+/// are: as a pure function of the totally ordered batch stream and the
+/// config. The table keeps windowed per-key read/write counters (fed from
+/// Materialize), and at each batch boundary — before any transaction of
+/// the batch routes — it grants leases to read-hot keys, revokes leases
+/// that turned write-heavy, and lapses every lease when the membership
+/// epoch moved. Grants, revokes and lapses come out as routing::ReplicaOp
+/// entries attached to the batch's first routed transaction, so they ride
+/// the dispatch order, fold into both digests, and replay exactly.
+///
+/// Determinism: counters live in a std::map (sorted iteration), holders
+/// are the primary plus the lowest-id alive candidates, and nothing
+/// here consults hash order, wall clock, or any RNG. A command-log replay
+/// that feeds the same batches and the same membership schedule reproduces
+/// every decision bit-for-bit — which is what keeps placement_digest()
+/// chaos-invariant with replication enabled.
+class LeaseTable {
+ public:
+  /// An active lease: which nodes hold read-only copies of the key.
+  struct Lease {
+    std::vector<NodeId> holders;  ///< sorted ascending
+  };
+
+  /// Decision counters (monotonic; surfaced through HermesRouter::Stats).
+  struct Stats {
+    uint64_t grants = 0;
+    uint64_t revokes = 0;  ///< write-heavy revokes (whole leases)
+    uint64_t lapses = 0;   ///< membership-epoch lapses (whole leases)
+  };
+
+  /// Disabled until configured; a disabled table does nothing and costs a
+  /// null check per call.
+  void Configure(const ReplicationConfig* config) { config_ = config; }
+  bool enabled() const { return config_ != nullptr && config_->enabled; }
+
+  /// Batch-boundary evaluation, called once per routed batch in total
+  /// order. `membership_epoch` is the router's current MembershipView
+  /// epoch (0 when no view is installed); `all_alive` gates new grants
+  /// (no new lease starts while a node is down — the copy source could be
+  /// dead); `candidates` is the alive candidate node set in ascending
+  /// order; `owner_of` resolves the current primary of a key. Emitted ops
+  /// are appended to `*ops` in deterministic (sorted key, then holder)
+  /// order: lapses first, then write-heavy revokes, then grants.
+  void BeginBatch(uint32_t membership_epoch, bool all_alive,
+                  const std::vector<NodeId>& candidates,
+                  const partition::OwnershipMap& ownership,
+                  std::vector<routing::ReplicaOp>* ops);
+
+  /// Access observations from Materialize (feed the next window).
+  void ObserveRead(Key key) {
+    if (enabled()) {
+      ++counters_[key].reads;
+      ++window_reads_;
+    }
+  }
+  void ObserveWrite(Key key) {
+    if (enabled()) {
+      ++counters_[key].writes;
+      ++window_writes_;
+    }
+  }
+
+  /// True iff `node` currently holds a lease copy of `key`.
+  bool IsHolder(Key key, NodeId node) const;
+
+  const Lease* Find(Key key) const;
+  size_t num_leases() const { return leases_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// Drops all leases and counters without emitting ops (checkpoint
+  /// restore: engine-side copies are lapsed the same way, so both sides
+  /// restart cold and re-grant deterministically from the replayed stream).
+  void Reset();
+
+ private:
+  struct KeyCounters {
+    uint32_t reads = 0;
+    uint32_t writes = 0;
+  };
+
+  const ReplicationConfig* config_ = nullptr;
+  /// Windowed access counters; decayed (halved) every window_batches.
+  /// std::map: grant evaluation iterates in key order.
+  std::map<Key, KeyCounters> counters_;
+  std::map<Key, Lease> leases_;
+  /// Aggregate window counters (decayed with the per-key ones): gate new
+  /// grants on the workload being read-mostly overall, so a write-heavy
+  /// phase does not keep paying install churn for leases that will never
+  /// earn their fan-out back.
+  uint64_t window_reads_ = 0;
+  uint64_t window_writes_ = 0;
+  uint64_t batches_seen_ = 0;
+  uint32_t last_epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_LEASE_TABLE_H_

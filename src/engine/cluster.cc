@@ -51,6 +51,7 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
       net_(&sim_, &config_.costs, config.num_nodes),
       ownership_(std::move(initial_partitioning)),
       router_(MakeRouter(kind, &ownership_, config_)),
+      lease_mgr_(config.num_nodes),
       executor_(&sim_, &net_, &metrics_, &config_.costs, &nodes_),
       sequencer_(&sim_, &config_,
                  [this](Batch&& batch) { OnBatchSequenced(std::move(batch)); }),
@@ -110,6 +111,15 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
   scheduler_.set_tracer(&tracer_);
   if (kind_ == RouterKind::kHermes) {
     static_cast<core::HermesRouter*>(router_.get())->set_tracer(&tracer_);
+  }
+  // Replica-lease wiring (DESIGN.md §5 "Replica leases"). Only the Hermes
+  // router grants leases; with replication disabled the manager stays
+  // empty and every hook below is a no-op.
+  if (replication_enabled()) {
+    static_cast<core::HermesRouter*>(router_.get())
+        ->EnableReplication(&config_.replication);
+    executor_.set_lease_manager(&lease_mgr_);
+    lease_mgr_.set_tracer(&tracer_);
   }
   RegisterTelemetry();
 }
@@ -194,6 +204,34 @@ void Cluster::RegisterTelemetry() {
     telemetry_.RegisterCounter("hermes_router_reorders_total", [router] {
       return router->stats().reorders;
     });
+    // Lease metrics exist only when replication is on, so the existing
+    // TelemetryText goldens are unchanged for every other configuration.
+    if (config_.replication.enabled) {
+      telemetry_.RegisterCounter("hermes_replica_reads_total", [router] {
+        return router->stats().replica_reads;
+      });
+      telemetry_.RegisterCounter("hermes_lease_grants_total", [router] {
+        return router->lease_table().stats().grants;
+      });
+      telemetry_.RegisterCounter("hermes_lease_revokes_total", [router] {
+        return router->lease_table().stats().revokes;
+      });
+      telemetry_.RegisterCounter("hermes_lease_lapses_total", [router] {
+        return router->lease_table().stats().lapses;
+      });
+      telemetry_.RegisterCounter("hermes_replica_installs_total",
+                                 [this] { return lease_mgr_.installs(); });
+      telemetry_.RegisterCounter("hermes_replica_updates_total",
+                                 [this] { return lease_mgr_.updates(); });
+      telemetry_.RegisterCounter("hermes_replica_stale_drops_total",
+                                 [this] { return lease_mgr_.stale_drops(); });
+      telemetry_.RegisterGauge("hermes_replica_copies", [this] {
+        return static_cast<int64_t>(lease_mgr_.num_copies());
+      });
+      telemetry_.RegisterGauge("hermes_leases_active", [this] {
+        return static_cast<int64_t>(lease_mgr_.num_leased_keys());
+      });
+    }
   }
 }
 
@@ -387,6 +425,7 @@ NodeId Cluster::AddNode(const std::vector<RangeMove>& cold_plan,
   tracer_.EnsureNode(id);
   nodes_.push_back(std::make_unique<Node>(id, &sim_, config_.workers_per_node));
   net_.EnsureCapacity(id + 1);
+  lease_mgr_.EnsureNode(id);
 
   TxnRequest marker;
   marker.kind = TxnKind::kAddNode;
@@ -455,10 +494,19 @@ void Cluster::RestoreFromCheckpoint(const storage::Checkpoint& checkpoint) {
     const NodeId id = static_cast<NodeId>(nodes_.size());
     sim_.EnsureLanes(id + 1);
     tracer_.EnsureNode(id);
+    lease_mgr_.EnsureNode(id);
     nodes_.push_back(
         std::make_unique<Node>(id, &sim_, config_.workers_per_node));
   }
   net_.EnsureCapacity(static_cast<int>(nodes_.size()));
+  // Leases are soft state: checkpoints capture only primaries, so a
+  // restore starts with no copies and no lease bookkeeping — the router
+  // re-grants from fresh counters during replay, exactly as the live run
+  // did from its own start.
+  if (replication_enabled()) {
+    lease_mgr_.LapseAll();
+    static_cast<core::HermesRouter*>(router_.get())->ResetReplication();
+  }
   for (size_t i = 0; i < checkpoint.stores.size(); ++i) {
     for (const auto& [key, record] : checkpoint.stores[i]) {
       nodes_[i]->store().Insert(key, record);
@@ -490,6 +538,7 @@ void Cluster::ReplayBatches(const std::vector<Batch>& batches) {
           const NodeId id = static_cast<NodeId>(nodes_.size());
           sim_.EnsureLanes(id + 1);
           tracer_.EnsureNode(id);
+          lease_mgr_.EnsureNode(id);
           nodes_.push_back(
               std::make_unique<Node>(id, &sim_, config_.workers_per_node));
         }
@@ -548,6 +597,14 @@ void Cluster::CrashNoStall(NodeId node) {
       next_expected_batch_, node, /*alive=*/false, membership_.epoch()});
   HERMES_TRACE(&tracer_, obs::EventKind::kCrash, node, kInvalidTxn,
                static_cast<Key>(-1), membership_.epoch());
+  // Every replica lease lapses at the membership transition: copies at the
+  // dead node are gone, and surviving holders must not serve reads the
+  // router no longer routes to them. Waking copy-waiters is safe — a
+  // lapsed replica read degrades to a plain local read (reads are
+  // cost-model only). The router's LeaseTable lapses itself at the next
+  // batch boundary off the epoch change; both are pure functions of the
+  // membership schedule.
+  lease_mgr_.LapseAll();
   executor_.OnNodeDown(node);
 }
 
@@ -559,6 +616,10 @@ void Cluster::RejoinNoStall(NodeId node) {
       next_expected_batch_, node, /*alive=*/true, membership_.epoch()});
   HERMES_TRACE(&tracer_, obs::EventKind::kRejoin, node, kInvalidTxn,
                static_cast<Key>(-1), membership_.epoch());
+  // Leases lapse again (epoch changed): stale copies granted under the
+  // degraded membership must not survive into the healed cluster. The
+  // router re-grants from fresh counters at the next batch boundary.
+  lease_mgr_.LapseAll();
   // Order matters: suppressed shipments flush first (their records land
   // where ownership points), then divergent records reship, and only then
   // does the parked queue route — so a released chunk migration finds
@@ -793,8 +854,13 @@ void Cluster::ApplyScheduledEventsBefore(BatchId id) {
     ++replay_event_cursor_;
     if (!e.alive) {
       membership_.MarkDown(e.node);
+      // Replay mirrors the live CrashNoStall: leases lapse at the same
+      // point in the total order, so the router's grant stream — and with
+      // it placement_digest — matches the live run.
+      lease_mgr_.LapseAll();
     } else {
       membership_.MarkUp(e.node);
+      lease_mgr_.LapseAll();
       stranded_.clear();
       ReleaseParked();
     }
@@ -818,6 +884,7 @@ std::string Cluster::DegradedDebugString() const {
                   static_cast<unsigned long long>(k));
     out += buf;
   }
+  if (replication_enabled()) out += lease_mgr_.DebugString();
   return out;
 }
 

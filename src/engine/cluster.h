@@ -24,6 +24,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "partition/partition_map.h"
+#include "replication/lease_manager.h"
 #include "routing/clay_planner.h"
 #include "routing/router.h"
 #include "sim/network.h"
@@ -125,13 +126,18 @@ class Cluster {
   /// Marks `node` dead without pausing intake. The victim's store is
   /// detached in place: the model says it is lost and later rebuilt
   /// bit-identically from checkpoint + log (the injector charges that
-  /// virtual time); the simulation reuses the image.
+  /// virtual time); the simulation reuses the image. Every replica lease
+  /// lapses (the holder set can no longer be maintained consistently).
+  /// Called between events by the fault injector, never lane-side.
+  // detlint:runs(exclusive)
   void CrashNoStall(NodeId node);
 
   /// Brings `node` back: flushes suppressed in-flight shipments, reships
   /// every record whose physical location diverged from the ownership map
   /// during the outage, clears stranded-key blocks, and re-routes parked
-  /// transactions (in FIFO = total order).
+  /// transactions (in FIFO = total order). Replica leases lapse again —
+  /// the router re-grants from fresh counters at the next batch boundary.
+  // detlint:runs(exclusive)
   void RejoinNoStall(NodeId node);
 
   /// Installs a recorded degraded schedule before ReplayBatches: the
@@ -221,6 +227,16 @@ class Cluster {
   routing::Router& router() { return *router_; }
   partition::OwnershipMap& ownership() { return ownership_; }
   TxnExecutor& executor() { return executor_; }
+  /// Replica-lease engine state (copies, waiters, counters). Inert unless
+  /// config.replication.enabled with the Hermes router.
+  replication::LeaseManager& lease_manager() { return lease_mgr_; }
+  const replication::LeaseManager& lease_manager() const { return lease_mgr_; }
+  bool replication_enabled() const {
+    return config_.replication.enabled && kind_ == RouterKind::kHermes;
+  }
+  /// Order-insensitive checksum over every replica copy; the replica
+  /// analogue of StateChecksum (coherence monitoring, determinism tests).
+  uint64_t ReplicaChecksum() const { return lease_mgr_.Checksum(); }
   const storage::CommandLog& command_log() const { return command_log_; }
   const ClusterConfig& config() const { return config_; }
   RouterKind kind() const { return kind_; }
@@ -320,7 +336,9 @@ class Cluster {
   /// Routes the parking queue (FIFO); entries re-park if still blocked.
   void ReleaseParked();
   /// Replay cursor: applies scheduled membership events and recorded
-  /// stranded sets whose from_batch <= `id`, in recorded order.
+  /// stranded sets whose from_batch <= `id`, in recorded order. Runs from
+  /// the scheduler's batch filter, which executes between events.
+  // detlint:runs(exclusive)
   void ApplyScheduledEventsBefore(BatchId id);
 
   /// Registers every telemetry metric (closures over live fields); runs
@@ -344,6 +362,9 @@ class Cluster {
   partition::OwnershipMap ownership_;
   std::unique_ptr<routing::Router> router_;
   storage::CommandLog command_log_;
+  /// Declared before executor_ (which holds a pointer into it when
+  /// replication is enabled) so copies outlive executor teardown.
+  replication::LeaseManager lease_mgr_;
   TxnExecutor executor_;
   Sequencer sequencer_;
   Scheduler scheduler_;

@@ -67,6 +67,20 @@ void TxnExecutor::Dispatch(const RoutedTxn& plan, CommitCallback on_commit) {
                       PackAccessArg(acc));
     }
   }
+  // Replica-lease maintenance rides the plan in dispatch (= total) order:
+  // holder-set changes first, then the install shipments, so a read
+  // routed later in this batch already sees the holder registered.
+  if (lease_mgr_ != nullptr) {
+    for (const routing::ReplicaOp& op : plan.replica_ops) {
+      if (op.kind == routing::ReplicaOpKind::kInstall) {
+        lease_mgr_->BeginInstall(op.key, op.node, op.source);
+        StartReplicaInstall(op.key, op.source, op.node, id);
+      } else {
+        lease_mgr_->Revoke(op.key, op.node);
+      }
+    }
+  }
+
   auto owned_active = std::make_unique<Active>();
   Active& a = *owned_active;
   a.plan = plan;
@@ -212,19 +226,35 @@ void TxnExecutor::OnNodeGranted(Active& a, NodeId node) {
                  });
   }
 
-  // Master side: check local presence, then readiness.
+  // Master side: check local presence, then readiness. Replica reads wait
+  // on the lease copy instead of the primary store (the primary lives
+  // elsewhere); both waits share one countdown so local_present flips
+  // exactly once.
   MasterState* m = MasterFor(a, node);
   if (m != nullptr) {
     std::vector<Key> local;
-    for (const Access& acc : state->owned) local.push_back(acc.key);
-    WaitPresence(node, SortedUnique(std::move(local)), [this, id, node]() {
+    std::vector<Key> replica;
+    for (const Access& acc : state->owned) {
+      if (acc.replica_read && lease_mgr_ != nullptr) {
+        replica.push_back(acc.key);
+      } else {
+        local.push_back(acc.key);
+      }
+    }
+    auto remaining = std::make_shared<int>(replica.empty() ? 1 : 2);
+    auto present = [this, id, node, remaining]() {
+      if (--*remaining > 0) return;
       auto it = actives_.find(id);
       if (it == actives_.end()) return;
       Active& act = *it->second;
       MasterState* ms = MasterFor(act, node);
       ms->local_present = true;
       CheckMasterReady(act, *ms);
-    });
+    };
+    if (!replica.empty()) {
+      lease_mgr_->WaitCopies(node, SortedUnique(std::move(replica)), present);
+    }
+    WaitPresence(node, SortedUnique(std::move(local)), present);
   }
 }
 
@@ -426,6 +456,59 @@ void TxnExecutor::CommitMaster(Active& a, MasterState& m) {
     } else {
       node.undo().Commit(id);
     }
+  }
+
+  // Replica-lease write fan-out: every committed write of a leased key
+  // sends the full post-commit record snapshot to the sorted holder set
+  // (batch-ordered: the commit itself is ordered by this master's lock).
+  // Holders apply version-max, so late or duplicated updates converge.
+  // Each key fans out from the master that applied it (the same
+  // applies-here test as the write loop above), so multi-master plans
+  // refresh copies exactly once per key. The holder set is
+  // exclusive-written, lane-read — safe here.
+  if (lease_mgr_ != nullptr && a.plan.txn.kind == TxnKind::kRegular &&
+      !a.plan.txn.user_abort) {
+    uint64_t fanout_work = 0;
+    for (Key k : a.write_keys) {
+      bool applies_here = single_master;
+      if (!single_master) {
+        const NodeState* state = StateFor(a, m.node);
+        applies_here = false;
+        for (const Access& acc : state->owned) {
+          if (acc.key == k && acc.is_write) {
+            applies_here = true;
+            break;
+          }
+        }
+      }
+      if (!applies_here) continue;
+      const std::vector<NodeId>* holders = lease_mgr_->HoldersOf(k);
+      if (holders == nullptr) continue;
+      const storage::Record* rec = node.store().Get(k);
+      if (rec == nullptr) continue;
+      const storage::Record snapshot = *rec;
+      for (NodeId h : *holders) {
+        if (h == m.node) {
+          // The primary migrated onto a holder: refresh its copy in place
+          // (own lane, own shard), no network hop.
+          lease_mgr_->ApplyCopy(h, k, snapshot, /*install=*/false, id);
+          continue;
+        }
+        fanout_work += costs_->storage_op_us;
+        // Batch-ordered apply: the holder is already consuming this
+        // epoch's sequenced batch stream, so the refresh costs it one
+        // storage op, not a point-to-point RPC deserialization (only the
+        // initial install pays msg_processing for its fetch).
+        net_->Send(m.node, h, costs_->record_bytes,
+                   [this, k, h, id, snapshot]() {
+                     if (NodeDead(h)) return;
+                     NodeAt(h).workers().Submit(costs_->storage_op_us, [] {});
+                     lease_mgr_->ApplyCopy(h, k, snapshot,
+                                           /*install=*/false, id);
+                   });
+      }
+    }
+    if (fanout_work > 0) node.workers().Submit(fanout_work, [] {});
   }
 
   std::vector<TxnId> granted;
@@ -694,6 +777,70 @@ void TxnExecutor::Freeze(Active& a) {
     if (it == actives_.end()) return;
     it->second->frozen = true;
     frozen_ids_.insert(id);
+  });
+}
+
+void TxnExecutor::StartReplicaInstall(Key key, NodeId source, NodeId holder,
+                                      TxnId txn) {
+  // Locate the primary: at the routed source, else follow an in-flight
+  // migration to its destination, else (displaced during an outage) scan
+  // the stores in node order. The copy is a snapshot — the primary is
+  // never extracted, so record singularity is untouched. If the record
+  // never materializes at `src` (crash mid-flight), the waiter idles
+  // harmlessly: the membership epoch change lapses the lease and wakes
+  // every read blocked on the copy.
+  NodeId from = source;
+  if (from == kInvalidNode || !NodeAt(from).store().Contains(key)) {
+    const auto it = inflight_records_.find(key);
+    if (it != inflight_records_.end()) {
+      from = it->second.to;
+    } else {
+      for (const auto& n : *nodes_) {
+        if (n->store().Contains(key)) {
+          from = n->id();
+          break;
+        }
+      }
+    }
+  }
+  if (from == kInvalidNode) return;
+  const NodeId src = from;
+  WaitPresence(src, {key}, [this, key, src, holder, txn]() {
+    const storage::Record* rec = NodeAt(src).store().Get(key);
+    if (rec == nullptr) {
+      // An earlier waiter in the same wake list (a migration's presence
+      // wait) re-extracted the record before this one ran. Dropping the
+      // install would wedge every read waiting on the copy, so re-resolve
+      // from exclusive context — the barrier runs after TrackInFlight's
+      // deferred bookkeeping, so the retry sees the new destination.
+      sim_->Defer([this, key, holder, txn]() {
+        const std::vector<NodeId>* holders = lease_mgr_->HoldersOf(key);
+        if (holders == nullptr ||
+            !std::binary_search(holders->begin(), holders->end(), holder)) {
+          return;  // revoked/lapsed meanwhile: waiters were already woken
+        }
+        if (lease_mgr_->CopyPresent(holder, key)) return;
+        StartReplicaInstall(key, kInvalidNode, holder, txn);
+      });
+      return;
+    }
+    const storage::Record snapshot = *rec;
+    NodeAt(src).workers().Submit(costs_->storage_op_us, [] {});
+    if (src == holder) {
+      // The primary is itself a holder (a lease covers every candidate so
+      // the key stays locally readable wherever the primary later
+      // migrates): its copy snapshots the local record, no network hop.
+      lease_mgr_->ApplyCopy(holder, key, snapshot, /*install=*/true, txn);
+      return;
+    }
+    net_->Send(src, holder, costs_->record_bytes,
+               [this, key, holder, txn, snapshot]() {
+                 if (NodeDead(holder)) return;
+                 NodeAt(holder).workers().Submit(costs_->msg_processing_us,
+                                                 [] {});
+                 lease_mgr_->ApplyCopy(holder, key, snapshot,
+                                       /*install=*/true, txn);
+               });
   });
 }
 

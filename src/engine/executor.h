@@ -18,6 +18,7 @@
 #include "engine/node.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "replication/lease_manager.h"
 #include "routing/router.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -70,7 +71,19 @@ class TxnExecutor {
   TxnExecutor& operator=(const TxnExecutor&) = delete;
 
   /// Dispatches one routed transaction. Must be called in total order.
+  /// Scheduled from the scheduler's dispatch events only (control lane):
+  /// it enqueues locks at every involved node and applies replica-lease
+  /// ops, both cross-node work.
+  // detlint:runs(exclusive)
   void Dispatch(const routing::RoutedTxn& plan, CommitCallback on_commit);
+
+  /// Wires the replica-lease mechanism (null = leases off). Dispatch
+  /// applies the plan's replica ops through it, masters wait on lease
+  /// copies for replica reads, and commits fan out write snapshots to
+  /// holders.
+  void set_lease_manager(replication::LeaseManager* mgr) {
+    lease_mgr_ = mgr;
+  }
 
   // --- Degraded mode (no-stall crash handling; see DESIGN.md §5). ---
 
@@ -250,6 +263,13 @@ class TxnExecutor {
   // detlint:requires(exclusive)
   void AbortActive(Active& a);
 
+  /// Ships a read-only copy of `key` to `holder` for a freshly granted
+  /// lease: waits for the record at its source (following an in-flight
+  /// migration or a displaced record if needed), snapshots it — the
+  /// primary is never extracted — and sends it; the holder's lane applies
+  /// it through the lease manager. Dispatch-time (exclusive) entry point.
+  void StartReplicaInstall(Key key, NodeId source, NodeId holder, TxnId txn);
+
   /// Registers a record as extracted at `from` and riding a message to
   /// `to` (cleared again by DeliverRecord). The table write lands at the
   /// epoch barrier when called lane-side (same virtual time).
@@ -291,6 +311,8 @@ class TxnExecutor {
   obs::Counter committed_;
   obs::Counter aborted_;
   obs::Tracer* tracer_ = nullptr;
+  /// Replica-lease mechanism (null = disabled; see set_lease_manager).
+  replication::LeaseManager* lease_mgr_ = nullptr;
 
   // --- Degraded-mode state (all null/empty unless EnableDegraded ran). ---
   const MembershipView* membership_ = nullptr;

@@ -33,13 +33,22 @@ void MixPlacement(DecisionDigest& digest, const routing::RoutedTxn& rt) {
     digest.Mix(a.key);
     digest.Mix((static_cast<uint64_t>(static_cast<uint32_t>(a.owner)) << 32) |
                static_cast<uint32_t>(a.new_owner));
-    digest.Mix((static_cast<uint64_t>(a.is_write) << 1) |
+    // replica_read occupies bit 2, so plans without leases (every access
+    // false) fold to exactly the pre-replication digest values.
+    digest.Mix((static_cast<uint64_t>(a.replica_read) << 2) |
+               (static_cast<uint64_t>(a.is_write) << 1) |
                static_cast<uint64_t>(a.ship_to_master));
   }
   for (const routing::ReturnShipment& s : rt.on_commit_returns) {
     digest.Mix(s.key);
     digest.Mix((static_cast<uint64_t>(static_cast<uint32_t>(s.from)) << 32) |
                static_cast<uint32_t>(s.to));
+  }
+  for (const routing::ReplicaOp& op : rt.replica_ops) {
+    digest.Mix(op.key);
+    digest.Mix((static_cast<uint64_t>(static_cast<uint32_t>(op.node)) << 32) |
+               static_cast<uint32_t>(op.source));
+    digest.Mix(static_cast<uint64_t>(op.kind) + 1);
   }
 }
 

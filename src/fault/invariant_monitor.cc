@@ -170,6 +170,50 @@ bool InvariantMonitor::CheckDegradedOracle(engine::Cluster& live,
   return failures_.size() == before;
 }
 
+bool InvariantMonitor::CheckReplicaCoherence(engine::Cluster& cluster,
+                                             const std::string& context) {
+  const size_t before = failures_.size();
+  char buf[256];
+  const auto& inflight = cluster.executor().inflight_records();
+  // SnapshotCopies is sorted by (node, key), so the failure list is
+  // deterministic across hash salts.
+  for (const auto& [node, key, copy] : cluster.lease_manager().SnapshotCopies()) {
+    const storage::Record* primary = nullptr;
+    for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+      const storage::Record* r = cluster.node(n).store().Get(key);
+      if (r != nullptr) {
+        primary = r;
+        break;  // record singularity: at most one store holds the key
+      }
+    }
+    if (primary == nullptr) {
+      const auto it = inflight.find(key);
+      if (it == inflight.end()) {
+        std::snprintf(buf, sizeof(buf),
+                      "[%s] replica coherence: key %llu has a copy on node "
+                      "%d but no primary anywhere",
+                      context.c_str(), static_cast<unsigned long long>(key),
+                      node);
+        Fail(buf);
+        continue;
+      }
+      primary = &it->second.record;
+    }
+    if (primary->value != copy.value || primary->version != copy.version) {
+      std::snprintf(buf, sizeof(buf),
+                    "[%s] replica coherence: key %llu copy on node %d is "
+                    "(value=%016llx v%u) but primary is (value=%016llx v%u)",
+                    context.c_str(), static_cast<unsigned long long>(key),
+                    node, static_cast<unsigned long long>(copy.value),
+                    copy.version,
+                    static_cast<unsigned long long>(primary->value),
+                    primary->version);
+      Fail(buf);
+    }
+  }
+  return failures_.size() == before;
+}
+
 bool InvariantMonitor::CheckReplicaChecksums(engine::ReplicaGroup& group,
                                              const std::string& context) {
   const size_t before = failures_.size();

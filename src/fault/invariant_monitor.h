@@ -71,6 +71,16 @@ class InvariantMonitor {
   bool CheckReplicaChecksums(engine::ReplicaGroup& group,
                              const std::string& context);
 
+  /// Replica-lease coherence (DESIGN.md §5 "Replica leases"): every copy
+  /// the lease manager holds matches its primary record bit-for-bit
+  /// (value and version). The primary is located through the same
+  /// singularity probe the other checks use — stores first, then the
+  /// executor's in-flight table. Call at quiescence; a quiesced copy that
+  /// disagrees with its primary means a commit fan-out was lost,
+  /// reordered past version-max, or applied to a lapsed lease.
+  bool CheckReplicaCoherence(engine::Cluster& cluster,
+                             const std::string& context);
+
   bool ok() const { return failures_.empty(); }
   const std::vector<std::string>& failures() const { return failures_; }
   std::string FailureReport() const;

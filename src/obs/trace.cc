@@ -39,6 +39,14 @@ const char* EventKindName(EventKind kind) {
       return "record_reship";
     case EventKind::kFusionEvict:
       return "fusion_evict";
+    case EventKind::kLeaseGrant:
+      return "lease_grant";
+    case EventKind::kLeaseRevoke:
+      return "lease_revoke";
+    case EventKind::kReplicaInstall:
+      return "replica_install";
+    case EventKind::kReplicaUpdate:
+      return "replica_update";
     case EventKind::kChunkMigration:
       return "chunk_migration";
     case EventKind::kNodeProvision:

@@ -38,6 +38,11 @@ enum class EventKind : uint8_t {
   kRecordReclaim,     ///< suppressed record re-inserted at its sender
   kRecordReship,      ///< displaced record moved to its ownership-map home
   kFusionEvict,       ///< fusion table evicted a key (arg = owner node)
+  // Replica leases (src/replication/).
+  kLeaseGrant,        ///< lease granted (node = holder, arg = copy source)
+  kLeaseRevoke,       ///< lease revoked (node = holder, arg = 1 if lapse)
+  kReplicaInstall,    ///< read-only copy landed at the holder
+  kReplicaUpdate,     ///< post-commit update applied at the holder
   kChunkMigration,    ///< chunk migration planned (key = lo, arg = #records)
   kNodeProvision,     ///< add/remove-node marker materialized (arg = kind)
   // Faults and degraded mode.

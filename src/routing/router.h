@@ -30,6 +30,24 @@ struct Access {
   bool is_write = false;
   bool ship_to_master = false;
   NodeId new_owner = kInvalidNode;
+  /// Read served from the executing node's local replica-lease copy
+  /// (owner == the master in that case): no participant, no shipment. The
+  /// primary record is untouched, so record singularity is unaffected.
+  bool replica_read = false;
+};
+
+/// One replica-lease maintenance action decided at routing time and
+/// executed by the engine's lease manager in dispatch (= total) order.
+enum class ReplicaOpKind : uint8_t {
+  kInstall = 0,  ///< ship a read-only copy of `key` from `source` to `node`
+  kRevoke = 1,   ///< drop node's copy (write-heavy, capacity, or lapse)
+};
+
+struct ReplicaOp {
+  Key key = 0;
+  NodeId node = kInvalidNode;    ///< lease holder the op targets
+  NodeId source = kInvalidNode;  ///< copy source (installs; owner at routing)
+  ReplicaOpKind kind = ReplicaOpKind::kInstall;
 };
 
 /// A record shipped home when the transaction commits (G-Store returns its
@@ -50,6 +68,10 @@ struct RoutedTxn {
   std::vector<NodeId> masters;
   std::vector<Access> accesses;
   std::vector<ReturnShipment> on_commit_returns;
+  /// Lease grants/revokes decided while routing this transaction's batch
+  /// (batch-boundary decisions ride the first routed transaction). Folded
+  /// into both digests by the scheduler and replayed deterministically.
+  std::vector<ReplicaOp> replica_ops;
 };
 
 /// Output of routing one totally ordered batch: the (possibly reordered)

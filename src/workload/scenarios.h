@@ -1,0 +1,24 @@
+#ifndef HERMES_WORKLOAD_SCENARIOS_H_
+#define HERMES_WORKLOAD_SCENARIOS_H_
+
+#include <cstdint>
+
+#include "workload/ycsb.h"
+
+namespace hermes::workload {
+
+/// Read-heavy skewed YCSB (DESIGN.md §5 "Replica leases"): most
+/// transactions pair a key from their own partition with a record drawn
+/// from a highly skewed, effectively stationary global hot set, and only
+/// `write_fraction` of them write. The stationary hot set is exactly the
+/// case replica leases target — without them every distributed read
+/// either ships to the hot record's master or ping-pongs it between
+/// owners; with them each partition reads its local copy. Sweeping
+/// `write_fraction` exposes the crossover where write fan-out eats the
+/// read savings (bench_replication plots it).
+YcsbConfig ReadHeavySkewedYcsb(uint64_t num_records, int num_partitions,
+                               double write_fraction, uint64_t seed);
+
+}  // namespace hermes::workload
+
+#endif  // HERMES_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,15 @@
+// detlint-fixture: path=src/replication/lane_confinement_replication_neg.cc
+// detlint:requires(exclusive)
+void Revoke(unsigned long key, int holder);
+
+// detlint:requires(exclusive)
+void LapseAll();
+
+// detlint:runs(exclusive)
+void MembershipTransition() {
+  LapseAll();
+}
+
+void OnRevokeOp(Simulator& sim, unsigned long key, int holder) {
+  sim.Defer([key, holder] { Revoke(key, holder); });
+}

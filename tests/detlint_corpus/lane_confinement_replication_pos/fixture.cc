@@ -1,0 +1,7 @@
+// detlint-fixture: path=src/replication/lane_confinement_replication_pos.cc
+// detlint:requires(exclusive)
+void LapseNode(int node);
+
+void OnLaneDelivery(int node) {
+  LapseNode(node);
+}

@@ -734,7 +734,8 @@ class Linter {
     if (profile.count("lane-confinement") == 0) return;
     if (requires_set.empty()) return;
     if (!PathContains(f.virtual_path, "src/engine/") &&
-        !PathContains(f.virtual_path, "src/sim/")) {
+        !PathContains(f.virtual_path, "src/sim/") &&
+        !PathContains(f.virtual_path, "src/replication/")) {
       return;
     }
     const auto& t = f.tokens;
