@@ -15,7 +15,10 @@
 // time_to_recover_us still covers crash -> node-serves-again.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -39,13 +42,14 @@ using hermes::fault::FaultInjector;
 using hermes::fault::FaultPlan;
 using hermes::fault::FaultPlanConfig;
 using hermes::fault::InvariantMonitor;
+using hermes::fault::PartitionStats;
 using hermes::fault::RecoveryStats;
 
 constexpr SimTime kHorizon = SecToSim(12);
 constexpr int kClients = 64;
 constexpr uint64_t kPlanSeed = 2026;
 
-enum class Mode { kFaultFree, kStall, kNoStall };
+enum class Mode { kFaultFree, kStall, kNoStall, kPartition };
 
 const char* ModeName(Mode mode) {
   switch (mode) {
@@ -55,15 +59,92 @@ const char* ModeName(Mode mode) {
       return "stall";
     case Mode::kNoStall:
       return "degraded";
+    case Mode::kPartition:
+      return "partition";
   }
   return "?";
 }
 
-ClusterConfig BenchConfig() {
+/// CLI flags: --seed=<n> reseeds every generated plan; --plan=<spec> is a
+/// comma-separated k=v list overriding the plan shape, e.g.
+/// --plan=crashes=1,partitions=2,one_way=0.5,gray=1,drop=0.05. Unknown
+/// keys abort (a typo silently running the default plan would be worse).
+struct Options {
+  uint64_t seed = kPlanSeed;
+  std::string plan_spec;  // verbatim, echoed into the JSON summary
+  int crash_cycles = 2;
+  int partition_cycles = 2;
+  double one_way_fraction = 0.25;
+  bool gray = false;
+  double drop_prob = 0.02;
+  double duplicate_prob = 0.01;
+  SimTime max_jitter_us = 300;
+};
+
+bool ParsePlanSpec(const std::string& spec, Options* opts) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string kv = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "crashes") {
+      opts->crash_cycles = std::atoi(val.c_str());
+    } else if (key == "partitions") {
+      opts->partition_cycles = std::atoi(val.c_str());
+    } else if (key == "one_way") {
+      opts->one_way_fraction = std::atof(val.c_str());
+    } else if (key == "gray") {
+      opts->gray = std::atoi(val.c_str()) != 0;
+    } else if (key == "drop") {
+      opts->drop_prob = std::atof(val.c_str());
+    } else if (key == "dup") {
+      opts->duplicate_prob = std::atof(val.c_str());
+    } else if (key == "jitter") {
+      opts->max_jitter_us = std::strtoull(val.c_str(), nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts->seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--plan=", 7) == 0) {
+      opts->plan_spec = arg + 7;
+      if (!ParsePlanSpec(opts->plan_spec, opts)) {
+        std::fprintf(stderr, "bad --plan spec: %s\n", arg + 7);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed=<n>] "
+                   "[--plan=crashes=N,partitions=N,one_way=F,gray=0|1,"
+                   "drop=F,dup=F,jitter=US]\n",
+                   argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+ClusterConfig BenchConfig(Mode mode) {
   ClusterConfig config;
   config.num_nodes = 4;
   config.num_records = 20'000;
   config.hermes.fusion_table_capacity = 500;
+  // Partition runs need the heartbeat detector to degrade membership; the
+  // other modes keep it off so their telemetry/digest surface is the same
+  // as before the detector existed.
+  config.detector.enabled = mode == Mode::kPartition;
   return config;
 }
 
@@ -87,12 +168,16 @@ struct BenchOutcome {
   uint64_t unavailable = 0;
   uint64_t parked = 0;
   uint64_t watchdog_aborts = 0;
+  uint64_t messages_held = 0;
+  uint64_t detector_suspects = 0;
+  uint64_t detector_restores = 0;
   std::vector<RecoveryStats> recoveries;
+  std::vector<PartitionStats> partitions;
   bool monitors_ok = true;
 };
 
-BenchOutcome Run(Mode mode) {
-  const ClusterConfig config = BenchConfig();
+BenchOutcome Run(Mode mode, const Options& opts) {
+  const ClusterConfig config = BenchConfig(mode);
   Cluster cluster(config, RouterKind::kHermes, MapFactory(config)());
   cluster.Load();
 
@@ -102,14 +187,23 @@ BenchOutcome Run(Mode mode) {
     FaultPlanConfig pc;
     pc.horizon_us = kHorizon;
     pc.num_nodes = config.num_nodes;
-    pc.crash_cycles = 2;
+    pc.crash_cycles = opts.crash_cycles;
     pc.min_outage_us = MsToSim(200);
     pc.max_outage_us = MsToSim(800);
-    pc.no_stall = mode == Mode::kNoStall;
-    pc.link.drop_prob = 0.02;
-    pc.link.duplicate_prob = 0.01;
-    pc.link.max_jitter_us = 300;
-    const FaultPlan plan = FaultPlan::Generate(pc, kPlanSeed);
+    pc.no_stall = mode == Mode::kNoStall || mode == Mode::kPartition;
+    if (mode == Mode::kPartition) {
+      pc.partition_cycles = opts.partition_cycles;
+      pc.one_way_fraction = opts.one_way_fraction;
+      pc.gray = opts.gray;
+      // Partition victims draw from the non-crashed pool; keep one crash
+      // cycle so the bench exercises the overlap, matching the chaos
+      // tests' mixed plans.
+      pc.crash_cycles = opts.crash_cycles > 0 ? 1 : 0;
+    }
+    pc.link.drop_prob = opts.drop_prob;
+    pc.link.duplicate_prob = opts.duplicate_prob;
+    pc.link.max_jitter_us = opts.max_jitter_us;
+    const FaultPlan plan = FaultPlan::Generate(pc, opts.seed);
     std::printf("%s", plan.DebugString().c_str());
     injector = std::make_unique<FaultInjector>(&cluster, plan,
                                                MapFactory(config));
@@ -151,8 +245,14 @@ BenchOutcome Run(Mode mode) {
   out.unavailable = cluster.degraded_ledger().unavailable_aborts();
   out.parked = cluster.degraded_ledger().parked_total();
   out.watchdog_aborts = cluster.degraded_ledger().watchdog_aborts();
+  out.messages_held = cluster.network().total_held();
+  if (const auto* det = cluster.failure_detector()) {
+    out.detector_suspects = det->suspects();
+    out.detector_restores = det->restores();
+  }
   if (injector) {
     out.recoveries = injector->recoveries();
+    out.partitions = injector->partitions();
     out.monitors_ok = monitor.ok();
     if (!monitor.ok()) std::printf("%s", monitor.FailureReport().c_str());
   }
@@ -188,25 +288,80 @@ void PrintRecoveries(const char* label, const BenchOutcome& out) {
   }
 }
 
+void PrintPartitions(const char* label, const BenchOutcome& out) {
+  if (out.partitions.empty()) return;
+  std::printf("\n%s partitions (virtual time):\n", label);
+  for (const PartitionStats& p : out.partitions) {
+    std::printf("  node %d: %s cut at %.3fs, healed at %.3fs, "
+                "%llu messages parked\n",
+                p.node, hermes::fault::PartitionModeName(p.mode),
+                p.cut_at / 1e6, p.healed_at / 1e6,
+                static_cast<unsigned long long>(p.held_released));
+  }
+  std::printf("  detector: suspects=%llu restores=%llu held_total=%llu\n",
+              static_cast<unsigned long long>(out.detector_suspects),
+              static_cast<unsigned long long>(out.detector_restores),
+              static_cast<unsigned long long>(out.messages_held));
+}
+
+/// One-line machine-readable summary: the flags that shaped the run plus
+/// each mode's headline numbers (scripts diff these across seeds).
+void PrintJsonSummary(const Options& opts, const BenchOutcome& baseline,
+                      const BenchOutcome& stall, const BenchOutcome& degraded,
+                      const BenchOutcome& partition) {
+  std::printf("JSON {\"seed\":%llu,\"plan\":\"%s\","
+              "\"flags\":{\"crashes\":%d,\"partitions\":%d,"
+              "\"one_way\":%.3f,\"gray\":%s},\"modes\":[",
+              static_cast<unsigned long long>(opts.seed),
+              opts.plan_spec.c_str(), opts.crash_cycles,
+              opts.partition_cycles, opts.one_way_fraction,
+              opts.gray ? "true" : "false");
+  const BenchOutcome* outs[] = {&baseline, &stall, &degraded, &partition};
+  const Mode modes[] = {Mode::kFaultFree, Mode::kStall, Mode::kNoStall,
+                        Mode::kPartition};
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%s{\"mode\":\"%s\",\"commits\":%llu,\"unavailable\":%llu,"
+                "\"parked\":%llu,\"held\":%llu,\"suspects\":%llu,"
+                "\"restores\":%llu,\"monitors_ok\":%s}",
+                i > 0 ? "," : "", ModeName(modes[i]),
+                static_cast<unsigned long long>(outs[i]->total_commits),
+                static_cast<unsigned long long>(outs[i]->unavailable),
+                static_cast<unsigned long long>(outs[i]->parked),
+                static_cast<unsigned long long>(outs[i]->messages_held),
+                static_cast<unsigned long long>(outs[i]->detector_suspects),
+                static_cast<unsigned long long>(outs[i]->detector_restores),
+                outs[i]->monitors_ok ? "true" : "false");
+  }
+  std::printf("]}\n");
+}
+
 }  // namespace
 
-int main() {
-  std::printf("Fault recovery bench: stall vs degraded crash handling, "
-              "against a fault-free baseline\n");
-  BenchOutcome baseline = Run(Mode::kFaultFree);
-  BenchOutcome stall = Run(Mode::kStall);
-  BenchOutcome degraded = Run(Mode::kNoStall);
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) return 2;
+  std::printf("Fault recovery bench: stall vs degraded crash handling vs "
+              "network partitions, against a fault-free baseline "
+              "(seed=%llu)\n",
+              static_cast<unsigned long long>(opts.seed));
+  BenchOutcome baseline = Run(Mode::kFaultFree, opts);
+  BenchOutcome stall = Run(Mode::kStall, opts);
+  BenchOutcome degraded = Run(Mode::kNoStall, opts);
+  BenchOutcome partition = Run(Mode::kPartition, opts);
 
   PrintSeriesTable("throughput under chaos",
-                   {"fault_free", "stall", "degraded"},
-                   {baseline.commits, stall.commits, degraded.commits}, 1.0,
-                   "commits per window");
+                   {"fault_free", "stall", "degraded", "partition"},
+                   {baseline.commits, stall.commits, degraded.commits,
+                    partition.commits},
+                   1.0, "commits per window");
   PrintSeriesTable("degraded run wire traffic", {"sent", "received"},
                    {degraded.sent, degraded.received}, 1.0,
                    "bytes per window");
 
   PrintRecoveries(ModeName(Mode::kStall), stall);
   PrintRecoveries(ModeName(Mode::kNoStall), degraded);
+  PrintRecoveries(ModeName(Mode::kPartition), partition);
+  PrintPartitions(ModeName(Mode::kPartition), partition);
 
   const double stall_ratio = OutageThroughputRatio(stall, baseline);
   const double degraded_ratio = OutageThroughputRatio(degraded, baseline);
@@ -229,12 +384,18 @@ int main() {
               stall.monitors_ok && degraded.monitors_ok ? "ok" : "FAILED");
   std::printf("paper shape: stall drops to ~0 during outages; degraded "
               "keeps the survivors' share (>=50%% of fault-free) and pays "
-              "only retries/parking on the victim's keys\n");
-  const bool ok =
-      stall.monitors_ok && degraded.monitors_ok && degraded_ratio >= 0.5;
+              "only retries/parking on the victim's keys; partitions park "
+              "the cut's traffic and the detector degrades membership "
+              "until the heal\n");
+  PrintJsonSummary(opts, baseline, stall, degraded, partition);
+  const bool ok = stall.monitors_ok && degraded.monitors_ok &&
+                  partition.monitors_ok && degraded_ratio >= 0.5;
   if (degraded_ratio < 0.5) {
     std::printf("FAIL: degraded outage-window ratio %.1f%% < 50%%\n",
                 100.0 * degraded_ratio);
+  }
+  if (!partition.monitors_ok) {
+    std::printf("FAIL: partition run tripped the invariant monitor\n");
   }
   return ok ? 0 : 1;
 }

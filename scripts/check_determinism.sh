@@ -19,6 +19,12 @@
 # counters — the full degraded decision history must be salt-invariant,
 # not just the end state.
 #
+# The partition profile covers the network-partition path: a seeded
+# plan cuts links (two-sided and one-way), runs a gray link, and lets
+# the heartbeat failure detector drive membership epochs; its
+# PARTITION_PROFILE line (digests, checksums, held/miss/suspect/restore
+# counters, retry digest) must be one value across salts x threads.
+#
 # The trace block does the same for the observability subsystem: every
 # TRACE_DIGEST line trace_determinism_test prints (the FNV-1a digest over
 # the full structured event stream) must be one value across the env
@@ -169,3 +175,41 @@ fi
 
 echo "OK: replication profile identical across env salts x sim thread counts ($SIM_THREADS):"
 echo "  $lease_profiles"
+
+# Partition profile: a seeded partition plan (two-sided + one-way cuts,
+# gray link, heartbeat failure detector converting sustained
+# unreachability into membership epochs) runs once per env salt x thread
+# count and prints a PARTITION_PROFILE line — decision/placement/trace
+# digests, state checksum, replica checksum, commit count, held-message
+# and heartbeat-miss counters, suspect/restore counts, and the degraded
+# retry-transcript digest. The detector's verdicts and the holding-pen
+# release order must be pure functions of (plan seed, config), so every
+# line across salts x threads must be one value.
+partition_bin="$BUILD_DIR/tests/partition_chaos_test"
+if [ ! -x "$partition_bin" ]; then
+  echo "error: $partition_bin not found — build first" >&2
+  exit 2
+fi
+
+partition_out="$(mktemp)"
+trap 'rm -f "$out" "$chaos_out" "$trace_out" "$lease_out" "$partition_out"' EXIT
+
+for salt in $SALTS; do
+  for threads in $SIM_THREADS; do
+    echo "== partition HERMES_HASH_SALT=$salt HERMES_SIM_THREADS=$threads =="
+    HERMES_HASH_SALT="$salt" HERMES_SIM_THREADS="$threads" "$partition_bin" \
+      --gtest_filter='PartitionScriptProfile.*' | tee -a "$partition_out"
+  done
+done
+
+partition_profiles="$(sed -n 's/^PARTITION_PROFILE //p' "$partition_out" | sort -u)"
+partition_count="$(printf '%s\n' "$partition_profiles" | grep -c . || true)"
+
+if [ "$partition_count" -ne 1 ]; then
+  echo "FAIL: expected one partition profile across salts x threads, got $partition_count:" >&2
+  printf '%s\n' "$partition_profiles" >&2
+  exit 1
+fi
+
+echo "OK: partition profile identical across env salts x sim thread counts ($SIM_THREADS):"
+echo "  $partition_profiles"

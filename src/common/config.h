@@ -133,6 +133,28 @@ struct DegradedConfig {
   SimTime replay_us_per_batch = 150;
 };
 
+/// Heartbeat failure-detector parameters (partition-aware degraded mode;
+/// DESIGN.md §5 "Partitions & failure detection"). The detector ticks on
+/// the control lane in virtual time: every decision it makes — miss
+/// counts, suspicion, restore — is a pure function of (tick index, link
+/// reachability, config), so detector-driven membership epochs are
+/// identical across hash salts and simulator thread counts.
+struct DetectorConfig {
+  /// Master switch. Off by default: no tick chain is ever armed and the
+  /// cluster behaves exactly as before (digests unchanged).
+  bool enabled = false;
+  /// Virtual time between heartbeat rounds.
+  SimTime heartbeat_period_us = 2500;
+  /// Consecutive missed heartbeats on a directed link before that
+  /// direction is considered unhealthy. Detection latency is
+  /// miss_threshold * heartbeat_period_us after a cut.
+  int miss_threshold = 3;
+  /// Consecutive healthy rounds a suspected node must string together
+  /// after a heal before it is marked up again (hysteresis against a
+  /// flapping or gray link re-admitting a peer too early).
+  int confirm_threshold = 2;
+};
+
 /// Observability (src/obs/) parameters. Tracing is strictly passive —
 /// nothing here may change a decision — so these knobs only affect what
 /// gets recorded, never what the cluster does.
@@ -184,6 +206,7 @@ struct ClusterConfig {
   /// retry (§2.1). Drawn from the cluster's seeded RNG.
   double ollp_stale_prob = 0.05;
   DegradedConfig degraded;
+  DetectorConfig detector;
   ReplicationConfig replication;
   ObsConfig obs;
   SimConfig sim;

@@ -19,6 +19,12 @@ struct MembershipEvent {
   NodeId node = kInvalidNode;
   bool alive = false;  ///< false = MarkDown, true = MarkUp
   uint32_t epoch = 0;  ///< membership epoch after applying this event
+  /// Position in the merged event+abort stream. Several events and abort
+  /// records can share one from_batch (a detector flap plus a watchdog
+  /// sweep between two batch dispatches); replay must interleave the two
+  /// streams exactly as they happened — a rejoin clears the stranded set,
+  /// so an abort stranding keys before vs after it is observable.
+  uint64_t seq = 0;
 };
 
 /// A watchdog abort recorded against the log: txn (already ordered in
@@ -31,6 +37,7 @@ struct AbortRecord {
   BatchId from_batch = 0;
   TxnId txn = kInvalidTxn;
   std::vector<Key> stranded;  ///< sorted
+  uint64_t seq = 0;           ///< merged-stream position (see MembershipEvent)
 };
 
 /// Everything a replay needs to reproduce a degraded-mode run: the

@@ -121,6 +121,9 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
     executor_.set_lease_manager(&lease_mgr_);
     lease_mgr_.set_tracer(&tracer_);
   }
+  if (config_.detector.enabled) {
+    detector_ = std::make_unique<FailureDetector>(this, config_.detector);
+  }
   RegisterTelemetry();
 }
 
@@ -181,6 +184,27 @@ void Cluster::RegisterTelemetry() {
   telemetry_.RegisterHistogram("hermes_txn_latency_us", [this] {
     return metrics_.latency_histogram().Snapshot();
   });
+  // Partition/detector metrics exist only when the detector is enabled,
+  // so the existing TelemetryText goldens are unchanged for every other
+  // configuration (same gating pattern as the lease metrics below).
+  if (config_.detector.enabled) {
+    telemetry_.RegisterCounter("hermes_partition_cuts_total",
+                               [this] { return partitions_cut_; });
+    telemetry_.RegisterCounter("hermes_partition_heals_total",
+                               [this] { return partitions_healed_; });
+    telemetry_.RegisterCounter("hermes_partition_messages_held_total",
+                               [this] { return net_.total_held(); });
+    telemetry_.RegisterGauge("hermes_partition_messages_held", [this] {
+      return static_cast<int64_t>(net_.messages_held());
+    });
+    telemetry_.RegisterCounter("hermes_detector_heartbeat_misses_total", [this] {
+      return detector_->heartbeat_misses();
+    });
+    telemetry_.RegisterCounter("hermes_detector_suspects_total",
+                               [this] { return detector_->suspects(); });
+    telemetry_.RegisterCounter("hermes_detector_restores_total",
+                               [this] { return detector_->restores(); });
+  }
   if (kind_ == RouterKind::kHermes) {
     const auto* router = static_cast<const core::HermesRouter*>(router_.get());
     telemetry_.RegisterGauge("hermes_fusion_table_size", [router] {
@@ -593,8 +617,9 @@ void Cluster::CrashNoStall(NodeId node) {
   assert(membership_.alive(node) && "node is already down");
   assert(!replaying_ && "replay applies the recorded schedule instead");
   membership_.MarkDown(node);
-  degraded_schedule_.events.push_back(MembershipEvent{
-      next_expected_batch_, node, /*alive=*/false, membership_.epoch()});
+  degraded_schedule_.events.push_back(
+      MembershipEvent{next_expected_batch_, node, /*alive=*/false,
+                      membership_.epoch(), degraded_seq_++});
   HERMES_TRACE(&tracer_, obs::EventKind::kCrash, node, kInvalidTxn,
                static_cast<Key>(-1), membership_.epoch());
   // Every replica lease lapses at the membership transition: copies at the
@@ -612,8 +637,9 @@ void Cluster::RejoinNoStall(NodeId node) {
   assert(!membership_.alive(node) && "node is not down");
   assert(!replaying_ && "replay applies the recorded schedule instead");
   membership_.MarkUp(node);
-  degraded_schedule_.events.push_back(MembershipEvent{
-      next_expected_batch_, node, /*alive=*/true, membership_.epoch()});
+  degraded_schedule_.events.push_back(
+      MembershipEvent{next_expected_batch_, node, /*alive=*/true,
+                      membership_.epoch(), degraded_seq_++});
   HERMES_TRACE(&tracer_, obs::EventKind::kRejoin, node, kInvalidTxn,
                static_cast<Key>(-1), membership_.epoch());
   // Leases lapse again (epoch changed): stale copies granted under the
@@ -629,6 +655,47 @@ void Cluster::RejoinNoStall(NodeId node) {
   ReconcileDisplaced();
   stranded_.clear();
   ReleaseParked();
+}
+
+// --- Partitions & failure detection (DESIGN.md §5). ---
+
+void Cluster::PartitionCut(NodeId node, bool cut_inbound, bool cut_outbound) {
+  assert(node >= 0 && node < num_nodes());
+  assert((cut_inbound || cut_outbound) && "a cut must sever something");
+  assert(!replaying_ && "replay applies the recorded schedule instead");
+  for (NodeId peer = 0; peer < num_nodes(); ++peer) {
+    if (peer == node) continue;
+    if (cut_inbound) net_.CutLink(peer, node);
+    if (cut_outbound) net_.CutLink(node, peer);
+  }
+  ++partitions_cut_;
+  HERMES_TRACE(&tracer_, obs::EventKind::kPartitionCut, node, kInvalidTxn,
+               static_cast<Key>(-1),
+               static_cast<uint64_t>((cut_inbound ? 1 : 0) |
+                                     (cut_outbound ? 2 : 0)));
+  // The cut itself changes nothing above the network layer; the detector
+  // notices the silence and degrades membership after its miss threshold.
+  ArmDetector(0);
+}
+
+void Cluster::PartitionHeal(NodeId node) {
+  assert(node >= 0 && node < num_nodes());
+  assert(!replaying_ && "replay applies the recorded schedule instead");
+  const uint64_t held_before = net_.messages_held();
+  for (NodeId peer = 0; peer < num_nodes(); ++peer) {
+    if (peer == node) continue;
+    net_.HealLink(peer, node);
+    net_.HealLink(node, peer);
+  }
+  ++partitions_healed_;
+  HERMES_TRACE(&tracer_, obs::EventKind::kPartitionHeal, node, kInvalidTxn,
+               static_cast<Key>(-1), held_before - net_.messages_held());
+  // Membership restoration is the detector's job (confirm hysteresis),
+  // not the heal's: the cut and the suspicion are separate facts.
+}
+
+void Cluster::ArmDetector(SimTime active_until) {
+  if (detector_) detector_->Arm(active_until);
 }
 
 void Cluster::SetReplayMembershipSchedule(const DegradedSchedule& schedule) {
@@ -779,6 +846,7 @@ void Cluster::OnWatchdogAbort(TxnRequest txn, TxnExecutor::CommitCallback cb,
   rec.from_batch = next_expected_batch_;
   rec.txn = txn.id;
   rec.stranded = stranded;
+  rec.seq = degraded_seq_++;
   degraded_schedule_.aborts.push_back(std::move(rec));
   if (HERMES_TRACE_ACTIVE(&tracer_)) {
     for (Key k : stranded) {
@@ -833,12 +901,14 @@ void Cluster::ApplyScheduledEventsBefore(BatchId id) {
         replay_event_cursor_ < events.size() &&
         events[replay_event_cursor_].from_batch <= id;
     if (!abort_ready && !event_ready) return;
-    const BatchId ab = abort_ready
-                           ? aborts[replay_abort_cursor_].from_batch
-                           : ~BatchId{0};
-    const BatchId ev = event_ready
-                           ? events[replay_event_cursor_].from_batch
-                           : ~BatchId{0};
+    // Both streams carry a shared seq stamp: several aborts and events can
+    // anchor to the same from_batch (a watchdog sweep between detector
+    // flaps), and whether an abort strands its keys before or after a
+    // rejoin clears the set is observable — merge in recorded order.
+    const uint64_t ab = abort_ready ? aborts[replay_abort_cursor_].seq
+                                    : ~uint64_t{0};
+    const uint64_t ev = event_ready ? events[replay_event_cursor_].seq
+                                    : ~uint64_t{0};
     if (abort_ready && ab <= ev) {
       // Stranded keys block the same touchers the live run blocked. (The
       // flipped abort itself already executed — its migrations landed —
@@ -861,6 +931,16 @@ void Cluster::ApplyScheduledEventsBefore(BatchId id) {
     } else {
       membership_.MarkUp(e.node);
       lease_mgr_.LapseAll();
+      // Mirror the live rejoin path: the recorded schedule flips the
+      // shared membership view, so replay's executor runs the same
+      // dead-node gates as live — its suppressed shipments must flush and
+      // its stalled machines must resume here too, or transactions that
+      // froze during replay (the flip timing differs from live, so the
+      // frozen sets differ) would wedge instead of converging to the
+      // same final state. Watchdog aborts are NOT re-derived: the
+      // recorded abort stream already replays them as §4.2 user-aborts.
+      executor_.OnNodeUp(e.node);
+      ReconcileDisplaced();
       stranded_.clear();
       ReleaseParked();
     }
@@ -885,6 +965,19 @@ std::string Cluster::DegradedDebugString() const {
     out += buf;
   }
   if (replication_enabled()) out += lease_mgr_.DebugString();
+  if (net_.any_cut() || net_.total_held() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "partition: any_cut=%d held=%llu held_total=%llu "
+                  "cut_deliveries=%llu cuts=%llu heals=%llu\n",
+                  net_.any_cut() ? 1 : 0,
+                  static_cast<unsigned long long>(net_.messages_held()),
+                  static_cast<unsigned long long>(net_.total_held()),
+                  static_cast<unsigned long long>(net_.cut_deliveries()),
+                  static_cast<unsigned long long>(partitions_cut_),
+                  static_cast<unsigned long long>(partitions_healed_));
+    out += buf;
+  }
+  if (detector_) out += detector_->DebugString();
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "engine/degraded.h"
+#include "engine/failure_detector.h"
 #include "core/fusion_table.h"
 #include "core/hermes_router.h"
 #include "engine/executor.h"
@@ -139,6 +140,46 @@ class Cluster {
   /// the router re-grants from fresh counters at the next batch boundary.
   // detlint:runs(exclusive)
   void RejoinNoStall(NodeId node);
+
+  // --- Partitions & failure detection (DESIGN.md §5). ---
+  //
+  // A partition cuts links in the network's reachability matrix; payloads
+  // sent into the cut park in per-link FIFO holding pens (message
+  // existence preserved — see sim::Network). The heartbeat failure
+  // detector converts sustained unreachability into the SAME
+  // membership-epoch transitions kCrashNoStall uses, so the majority side
+  // degrades exactly as it would for a crash, and the heal reconciles
+  // through the standard rejoin path. Cuts, heals and detector ticks all
+  // run in exclusive context; every transition is a pure function of
+  // (fault plan, config, virtual time).
+
+  /// Cuts the links around `node`: inbound severs peer->node, outbound
+  /// severs node->peer (both true = two-sided cut). Idempotent per
+  /// direction. Arms the failure detector when one is configured. Called
+  /// between events by the fault injector, never lane-side.
+  // detlint:runs(exclusive)
+  void PartitionCut(NodeId node, bool cut_inbound, bool cut_outbound);
+
+  /// Heals every cut link touching `node` and releases the affected
+  /// holding pens in FIFO order. The failure detector (if armed) restores
+  /// the node's membership after its confirmation hysteresis.
+  // detlint:runs(exclusive)
+  void PartitionHeal(NodeId node);
+
+  /// Arms the failure detector (no-op without config.detector.enabled):
+  /// the heartbeat chain runs at least until `active_until`, and past it
+  /// while cuts, suspicions or misses persist. The fault injector arms
+  /// gray windows this way, since gray links cut nothing.
+  // detlint:runs(exclusive)
+  void ArmDetector(SimTime active_until);
+
+  /// The heartbeat failure detector, or nullptr unless
+  /// config.detector.enabled.
+  FailureDetector* failure_detector() { return detector_.get(); }
+  const FailureDetector* failure_detector() const { return detector_.get(); }
+
+  uint64_t partitions_cut() const { return partitions_cut_; }
+  uint64_t partitions_healed() const { return partitions_healed_; }
 
   /// Installs a recorded degraded schedule before ReplayBatches: the
   /// replay applies the same membership transitions at the same batch
@@ -388,6 +429,13 @@ class Cluster {
 
   std::function<void(const Batch&)> batch_tap_;
 
+  // --- Partition & detector state. ---
+  /// Null unless config.detector.enabled. Declared after sim_/net_ (it
+  /// schedules ticks and reads the reachability matrix).
+  std::unique_ptr<FailureDetector> detector_;
+  uint64_t partitions_cut_ = 0;
+  uint64_t partitions_healed_ = 0;
+
   // --- Degraded-mode state. All quiescent while every node is alive. ---
   MembershipView membership_;
   DegradedLedger degraded_ledger_;
@@ -403,6 +451,10 @@ class Cluster {
   /// abort records anchor to it so the replay cursor applies them at the
   /// same point in the total order.
   BatchId next_expected_batch_ = 0;
+  /// Stamps MembershipEvent/AbortRecord seq fields: the merged recording
+  /// order of the two schedule streams, so replay can interleave events
+  /// and aborts sharing one from_batch exactly as they happened live.
+  uint64_t degraded_seq_ = 0;
   size_t replay_event_cursor_ = 0;
   size_t replay_abort_cursor_ = 0;
   /// Transactions the replay must flip to §4.2 user aborts (contains-only

@@ -200,8 +200,14 @@ void TxnExecutor::OnNodeGranted(Active& a, NodeId node) {
   if (NodeDead(node)) {
     // Grant reached a dead node (its previous lock holder committed or
     // was aborted): the transaction cannot make progress here. Leave it
-    // ungranted and frozen; the watchdog reclassifies it.
-    Freeze(a);
+    // ungranted and stalled; rejoin re-drives the grant from the top, or
+    // the watchdog reclassifies it first.
+    const TxnId id = a.plan.txn.id;
+    FreezeStalled(a, node, [this, id, node]() {
+      auto it = actives_.find(id);
+      if (it == actives_.end()) return;
+      OnNodeGranted(*it->second, node);
+    });
     return;
   }
   state->granted = true;
@@ -260,7 +266,12 @@ void TxnExecutor::OnNodeGranted(Active& a, NodeId node) {
 
 void TxnExecutor::StartParticipant(Active& a, NodeId node) {
   if (NodeDead(node)) {  // died between grant and record presence
-    Freeze(a);
+    const TxnId stall_id = a.plan.txn.id;
+    FreezeStalled(a, node, [this, stall_id, node]() {
+      auto it = actives_.find(stall_id);
+      if (it == actives_.end()) return;
+      StartParticipant(*it->second, node);
+    });
     return;
   }
   // Local storage reads for everything this node ships, on a worker.
@@ -284,7 +295,14 @@ void TxnExecutor::StartParticipant(Active& a, NodeId node) {
 
 void TxnExecutor::FinishParticipant(Active& a, NodeId node) {
   if (NodeDead(node)) {  // died while the send phase ran on a worker
-    Freeze(a);
+    // Nothing shipped yet (extraction happens below, all at once), so the
+    // resumed machine re-runs the whole send phase safely.
+    const TxnId stall_id = a.plan.txn.id;
+    FreezeStalled(a, node, [this, stall_id, node]() {
+      auto it = actives_.find(stall_id);
+      if (it == actives_.end()) return;
+      FinishParticipant(*it->second, node);
+    });
     return;
   }
   NodeState* state = StateFor(a, node);
@@ -379,7 +397,16 @@ void TxnExecutor::CheckMasterReady(Active& a, MasterState& m) {
     // The master died before starting. (A master that already started
     // races the crash: its worker completion still commits — the rebuilt
     // store replays that commit, so the detached-in-place image matches.)
-    Freeze(a);
+    // Re-checking readiness at rejoin is idempotent: started/granted/
+    // presence/pending are all re-tested.
+    const TxnId id = a.plan.txn.id;
+    const NodeId node = m.node;
+    FreezeStalled(a, node, [this, id, node]() {
+      auto it = actives_.find(id);
+      if (it == actives_.end()) return;
+      MasterState* ms = MasterFor(*it->second, node);
+      if (ms != nullptr) CheckMasterReady(*it->second, *ms);
+    });
     return;
   }
   NodeState* state = StateFor(a, m.node);
@@ -780,6 +807,58 @@ void TxnExecutor::Freeze(Active& a) {
   });
 }
 
+void TxnExecutor::FreezeStalled(Active& a, NodeId node,
+                                std::function<void()> resume) {
+  // Same barrier discipline as Freeze(); additionally parks the abandoned
+  // continuation under the dead node so ResumeStalled can re-drive it.
+  const TxnId id = a.plan.txn.id;
+  sim_->Defer([this, id, node, resume = std::move(resume)]() mutable {
+    auto it = actives_.find(id);
+    if (it == actives_.end()) return;
+    it->second->frozen = true;
+    frozen_ids_.insert(id);
+    it->second->stalled[node].push_back(std::move(resume));
+  });
+}
+
+void TxnExecutor::ResumeStalled(NodeId node) {
+  // Sorted snapshot: resume order is total regardless of hash salt, and
+  // a thunk may complete its transaction (erasing it from the live index)
+  // while later ids still wait their turn.
+  const std::vector<TxnId> frozen(frozen_ids_.begin(), frozen_ids_.end());
+  for (TxnId id : frozen) {
+    auto it = actives_.find(id);
+    if (it == actives_.end()) {
+      frozen_ids_.erase(id);
+      continue;
+    }
+    Active& a = *it->second;
+    // Only acknowledged transactions resume. Their writes are already
+    // committed in serial order — what stalled is pure record shipment,
+    // which lands correctly at any later time (destinations presence-wait
+    // on the record itself). An un-acked frozen transaction must NOT be
+    // resurrected: while it was frozen, later transactions may have
+    // overtaken its serial position through the re-routed ownership map,
+    // so replaying its writes now would fold them in the wrong order.
+    // The watchdog UNDO-aborts those (recorded, so replay flips them to
+    // §4.2 user-aborts at the right log position).
+    if (!a.acked) continue;
+    auto sit = a.stalled.find(node);
+    if (sit == a.stalled.end()) continue;
+    std::vector<std::function<void()>> thunks = std::move(sit->second);
+    a.stalled.erase(sit);
+    if (a.stalled.empty()) {
+      // No other dead gate holds this transaction; it either completes
+      // now or freezes again if a machine hits another down node.
+      a.frozen = false;
+      frozen_ids_.erase(id);
+    }
+    HERMES_TRACE(tracer_, obs::EventKind::kTxnResume, node, id, kNoKey,
+                 thunks.size());
+    for (auto& t : thunks) t();  // may destroy the Active
+  }
+}
+
 void TxnExecutor::StartReplicaInstall(Key key, NodeId source, NodeId holder,
                                       TxnId txn) {
   // Locate the primary: at the routed source, else follow an in-flight
@@ -880,19 +959,8 @@ void TxnExecutor::DeliverRecord(NodeId node, Key key,
       if (at != actives_.end()) Freeze(*at->second);
       const SimTime timeout =
           degraded_ != nullptr ? degraded_->reclaim_timeout_us : 2000;
-      sim_->Schedule(timeout, [this, key, carrier]() {
-        auto rit = inflight_records_.find(key);
-        if (rit == inflight_records_.end()) return;  // flushed at rejoin
-        const InFlightRecord e = rit->second;
-        if (!e.suppressed || e.txn != carrier) return;  // re-extracted since
-        if (!NodeDead(e.to)) return;  // rejoined; OnNodeUp owns the flush
-        inflight_records_.erase(rit);
-        displaced_[key] = e.from;
-        if (ledger_ != nullptr) ledger_->RecordReclaim();
-        HERMES_TRACE(tracer_, obs::EventKind::kRecordReclaim, e.from, carrier,
-                     key);
-        DeliverRecord(e.from, key, e.record);
-      });
+      sim_->Schedule(timeout,
+                     [this, key, carrier]() { ReclaimSuppressed(key, carrier); });
     });
     return;
   }
@@ -914,6 +982,33 @@ void TxnExecutor::DeliverRecord(NodeId node, Key key,
   std::vector<std::function<void()>> waiters = std::move(it->second);
   shard.erase(it);
   for (auto& w : waiters) w();
+}
+
+void TxnExecutor::ReclaimSuppressed(Key key, TxnId carrier) {
+  auto rit = inflight_records_.find(key);
+  if (rit == inflight_records_.end()) return;  // flushed at rejoin
+  const InFlightRecord e = rit->second;
+  if (!e.suppressed || e.txn != carrier) return;  // re-extracted since
+  if (!NodeDead(e.to)) return;  // rejoined; OnNodeUp owns the flush
+  if (NodeDead(e.from)) {
+    // Overlapping fault windows: the source is down too (a detector
+    // suspect while the destination's crash outage is still open).
+    // Handing the payload to DeliverRecord now would hit its suppress
+    // branch with no in-flight entry left to park it in and the record
+    // would vanish. Keep the entry suppressed and retry one timeout
+    // later; whichever side comes back first resolves it (OnNodeUp
+    // flushes on the destination's rejoin).
+    const SimTime timeout =
+        degraded_ != nullptr ? degraded_->reclaim_timeout_us : 2000;
+    sim_->Schedule(timeout,
+                   [this, key, carrier]() { ReclaimSuppressed(key, carrier); });
+    return;
+  }
+  inflight_records_.erase(rit);
+  displaced_[key] = e.from;
+  if (ledger_ != nullptr) ledger_->RecordReclaim();
+  HERMES_TRACE(tracer_, obs::EventKind::kRecordReclaim, e.from, carrier, key);
+  DeliverRecord(e.from, key, e.record);
 }
 
 void TxnExecutor::EnableDegraded(const MembershipView* membership,
@@ -955,6 +1050,14 @@ void TxnExecutor::OnNodeUp(NodeId node) {
     inflight_records_.erase(it);
     DeliverRecord(e.to, k, e.record);
   }
+  // Then re-drive the machines the node's dead gates stalled. A stalled
+  // participant may carry a planned migration whose ownership change is
+  // already visible to routing — until the resumed send phase ships the
+  // record, every toucher routed to the new owner presence-waits on it.
+  // The watchdog cannot clean these up: the master may have committed
+  // and acknowledged without waiting on a pure-migration participant,
+  // and acknowledged transactions are never UNDO-aborted.
+  ResumeStalled(node);
 }
 
 void TxnExecutor::WatchdogSweep() {
@@ -1018,6 +1121,32 @@ void TxnExecutor::AbortActive(Active& a) {
     }
   }
   stranded = SortedUnique(std::move(stranded));
+  // A stranded key breaks the record's custody chain: the rejoin reship
+  // jumps the record to its final ownership position, so every already-
+  // dispatched transaction expecting it at an intermediate live waypoint
+  // would wait forever — and, worse, could commit out of serial order if
+  // a later migration happens to revisit its node. Freeze those touchers
+  // (in id order) so the sweep UNDO-aborts and records them; replay flips
+  // them to §4.2 user-aborts at the same log position, where their writes
+  // fold and roll back in serial order. Touchers at dead waypoints are
+  // already frozen by the dead-node gates; acknowledged touchers already
+  // committed before the strand (the record cannot be both stranded and
+  // present at their master).
+  if (!stranded.empty()) {
+    std::vector<TxnId> dependents;
+    // detlint:allow(unordered-iter) id collection, sorted below
+    for (const auto& [oid, other] : actives_) {
+      if (oid == id || other->acked || other->frozen) continue;
+      for (const Access& oacc : other->plan.accesses) {
+        if (std::binary_search(stranded.begin(), stranded.end(), oacc.key)) {
+          dependents.push_back(oid);
+          break;
+        }
+      }
+    }
+    std::sort(dependents.begin(), dependents.end());
+    for (TxnId d : dependents) Freeze(*actives_.at(d));
+  }
   // Release locks (granted or queued) at every involved node; grants are
   // processed only after the transaction is gone.
   std::vector<std::pair<NodeId, std::vector<TxnId>>> grants;

@@ -110,7 +110,9 @@ class TxnExecutor {
 
   /// Flushes records that were suppressed mid-flight toward `node` while
   /// it was down (their delivery resumes now; pending reclaim timers
-  /// no-op). Called by the cluster at rejoin, before reconciliation.
+  /// no-op), then resumes machines stalled at the node's dead gates.
+  /// Called by the cluster at rejoin, before reconciliation.
+  // detlint:requires(exclusive)
   void OnNodeUp(NodeId node);
 
   /// Moves a record whose physical location diverged from the ownership
@@ -208,9 +210,14 @@ class TxnExecutor {
     bool acked = false;
     bool distributed = false;
     /// Set when a dead-node gate suppressed this transaction's progress:
-    /// it can no longer complete on its own and the watchdog will
-    /// UNDO-abort it at the next sweep.
+    /// it cannot complete on its own until the node rejoins (the stalled
+    /// machine resumes then) or the watchdog UNDO-aborts it first.
     bool frozen = false;
+    /// Per-node continuations abandoned at a dead-node gate, re-driven in
+    /// sorted txn order when that node rejoins. A node can stall both the
+    /// participant and the master machine, hence the vector (insertion
+    /// order — the deterministic event order the freezes fired in).
+    std::map<NodeId, std::vector<std::function<void()>>> stalled;
   };
 
   Node& NodeAt(NodeId id) { return *(*nodes_)[id]; }
@@ -251,11 +258,29 @@ class TxnExecutor {
   /// Defers to the epoch barrier when called lane-side (the flag and the
   /// sorted index are shared across nodes).
   void Freeze(Active& a);
+  /// Freeze() plus a resume continuation: the gate that fired records
+  /// exactly where the per-node machine stalled so ResumeStalled can
+  /// re-drive it at rejoin. Defers like Freeze().
+  void FreezeStalled(Active& a, NodeId node, std::function<void()> resume);
+  /// Re-drives every machine stalled at `node`'s dead gates, in sorted
+  /// txn order, and unfreezes transactions with no remaining stalls.
+  /// Touches cross-node per-txn state — exclusive context only (runs
+  /// inside the rejoin transition, live and replay).
+  // detlint:requires(exclusive)
+  void ResumeStalled(NodeId node);
   /// Deterministic periodic sweep: aborts every frozen, un-acknowledged
   /// transaction (sorted by id), re-arming while any node is down.
   /// Scheduled on the control lane only, never called lane-side.
   // detlint:runs(exclusive)
   void WatchdogSweep();
+  /// Reclaim timer body: returns a suppressed in-flight record to its
+  /// source once the destination has been down for reclaim_timeout_us.
+  /// Re-arms itself while the SOURCE is also down (overlapping fault
+  /// windows — e.g. a partition suspect while a crashed node is out):
+  /// reclaiming to a dead node would drop the payload. Scheduled on the
+  /// control lane only, never called lane-side.
+  // detlint:runs(exclusive)
+  void ReclaimSuppressed(Key key, TxnId carrier);
   /// UNDO-aborts one frozen transaction: classifies its unfinished
   /// migrations (reship / strand / displace), releases its locks
   /// everywhere, and hands (request, callback, stranded keys) to the

@@ -12,7 +12,17 @@ namespace {
 
 bool HasLinkChaos(const LinkChaosConfig& link) {
   return link.drop_prob > 0.0 || link.duplicate_prob > 0.0 ||
-         link.max_jitter_us > 0;
+         link.max_jitter_us > 0 || link.has_gray();
+}
+
+bool HasPartitions(const FaultPlan& plan) {
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind == FaultEvent::Kind::kPartitionStart ||
+        e.kind == FaultEvent::Kind::kPartitionHeal) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -30,6 +40,46 @@ FaultInjector::FaultInjector(engine::Cluster* cluster, const FaultPlan& plan,
   if (HasLinkChaos(plan_.link)) {
     chaos_.push_back(std::make_unique<LinkChaos>(plan_.link, plan_.seed));
     chaos_.back()->Install(&cluster_->network());
+  }
+  if (HasPartitions(plan_)) {
+    assert(cluster_->config().detector.enabled &&
+           "partition plans need the heartbeat failure detector "
+           "(config.detector.enabled) to degrade membership");
+    for (const FaultEvent& e : plan_.events) {
+      (void)e;
+      // A stall-crash drains to quiescence; with a cut up the drain waits
+      // on parked payloads forever. Generate() enforces no_stall for
+      // mixed plans — re-checked here for hand-built ones.
+      assert(e.kind != FaultEvent::Kind::kCrash &&
+             "stall-crash cycles cannot coexist with partitions");
+    }
+  }
+  if (cluster_->failure_detector() != nullptr) {
+    // The detector's heartbeat stream shares the chaos seed: a gray link
+    // eats heartbeats with gray_heartbeat_drop_prob, keyed by (seed, link,
+    // tick) — a pure function, so detector epochs replay exactly.
+    if (!chaos_.empty()) {
+      LinkChaos* chaos = chaos_.back().get();
+      cluster_->failure_detector()->set_heartbeat_loss(
+          [chaos](NodeId src, NodeId dst, uint64_t tick, SimTime now) {
+            return chaos->HeartbeatDropped(src, dst, tick, now);
+          });
+    }
+    // Gray windows cut nothing, so no PartitionCut arms the detector;
+    // schedule the arming across the window (plus slack for the detector
+    // to notice the recovery and restore membership).
+    if (plan_.link.has_gray()) {
+      engine::Cluster* cluster = cluster_;
+      const SimTime until =
+          plan_.link.gray_until_us +
+          static_cast<SimTime>(cluster_->config().detector.miss_threshold +
+                               cluster_->config().detector.confirm_threshold +
+                               2) *
+              cluster_->config().detector.heartbeat_period_us;
+      cluster_->simulator().Schedule(
+          plan_.link.gray_from_us,
+          [cluster, until] { cluster->ArmDetector(until); });
+    }
   }
   // The rebuild baseline. Requires the cluster Load()ed and not yet
   // running (TakeCheckpoint asserts quiescence).
@@ -117,7 +167,14 @@ SimTime FaultInjector::Drain() {
   if (cluster_ != nullptr) {
     const SimTime t = cluster_->Drain();
     MaybeRefreshCheckpoint();
-    if (monitor_ != nullptr && had_no_stall_) {
+    if (monitor_ != nullptr && (had_partition_ || plan_.link.has_gray())) {
+      // Subsumes the degraded oracle: the partition check delegates to it
+      // whenever the run recorded membership transitions (detector fired
+      // or scripted no-stall crashes rode along).
+      monitor_->CheckPartitionOracle(*cluster_, cluster_->kind(),
+                                     map_factory_,
+                                     "post-drain partition oracle");
+    } else if (monitor_ != nullptr && had_no_stall_) {
       monitor_->CheckDegradedOracle(*cluster_, cluster_->kind(), map_factory_,
                                     "post-drain degraded oracle");
     }
@@ -144,6 +201,12 @@ void FaultInjector::Apply(const FaultEvent& event) {
       break;
     case FaultEvent::Kind::kFailover:
       ApplyFailover();
+      break;
+    case FaultEvent::Kind::kPartitionStart:
+      ApplyPartitionStart(event);
+      break;
+    case FaultEvent::Kind::kPartitionHeal:
+      ApplyPartitionHeal(event);
       break;
   }
 }
@@ -286,6 +349,35 @@ void FaultInjector::ApplyRejoinNoStall(const FaultEvent& event) {
 void FaultInjector::ApplyFailover() {
   group_->FailoverNow();
   failovers_applied_.Add();
+}
+
+void FaultInjector::ApplyPartitionStart(const FaultEvent& event) {
+  assert(partitioned_node_ == kInvalidNode && "overlapping partitions");
+  assert(event.node != down_node_ && "victim is already crashed");
+  assert(event.node >= 0 && event.node < cluster_->num_nodes());
+  PartitionStats stats;
+  stats.node = event.node;
+  stats.mode = event.mode;
+  stats.cut_at = Now();
+  held_at_cut_ = cluster_->network().total_held();
+  const bool in = event.mode != PartitionMode::kOutbound;
+  const bool out = event.mode != PartitionMode::kInbound;
+  RunMonitor("partition cut");
+  cluster_->PartitionCut(event.node, in, out);
+  partitioned_node_ = event.node;
+  had_partition_ = true;
+  partitions_.push_back(stats);
+}
+
+void FaultInjector::ApplyPartitionHeal(const FaultEvent& event) {
+  assert(partitioned_node_ == event.node &&
+         "heal for a node that is not partitioned");
+  PartitionStats& stats = partitions_.back();
+  stats.healed_at = Now();
+  stats.held_released = cluster_->network().total_held() - held_at_cut_;
+  cluster_->PartitionHeal(event.node);
+  partitioned_node_ = kInvalidNode;
+  RunMonitor("partition heal");
 }
 
 }  // namespace hermes::fault

@@ -42,6 +42,15 @@ struct RecoveryStats {
   SimTime time_to_recover_us() const { return resumed_at - crash_at; }
 };
 
+/// What one partition cut/heal cycle looked like, in virtual time.
+struct PartitionStats {
+  NodeId node = kInvalidNode;
+  PartitionMode mode = PartitionMode::kTwoSided;
+  SimTime cut_at = 0;
+  SimTime healed_at = 0;       ///< 0 while the cut is still up
+  uint64_t held_released = 0;  ///< messages parked during this cut
+};
+
 /// Drives a Cluster (or ReplicaGroup) through a FaultPlan in virtual time.
 ///
 /// Crash model — stall-and-rebuild: this prototype hosts exactly one
@@ -68,7 +77,20 @@ struct RecoveryStats {
 ///   4. kFailover (ReplicaGroup mode): the primary dies mid-flight with NO
 ///      drain; a standby is promoted on the already-fanned-out batch
 ///      stream (ReplicaGroup::FailoverNow).
-/// Link chaos (drops/duplicates/jitter) is installed for the whole run.
+///   5. kPartitionStart/kPartitionHeal (DESIGN.md §5 "Partitions & failure
+///      detection"): the victim's links are cut in the network's
+///      reachability matrix (two-sided or one-way per the event's mode);
+///      payloads sent into the cut park in per-link FIFO pens and release
+///      on heal. The cluster's heartbeat failure detector — required for
+///      partition plans — converts sustained unreachability into the same
+///      membership epochs kCrashNoStall uses, and restores membership
+///      after the heal via its confirmation hysteresis. Drain() then runs
+///      the partition oracle: pens drained, nothing crossed a live cut,
+///      and the command log replays to the same placements and state.
+/// Link chaos (drops/duplicates/jitter) is installed for the whole run; a
+/// gray window (plan.link.gray_*) additionally degrades one node's links —
+/// slower, lossier, heartbeats eaten with high probability — without
+/// cutting anything; the injector arms the detector across the window.
 ///
 /// Everything is a pure function of (config, workload seed, plan seed):
 /// the chaos property test reruns plans under several hash salts and
@@ -111,6 +133,7 @@ class FaultInjector {
 
   SimTime Now() const;
   const std::vector<RecoveryStats>& recoveries() const { return recoveries_; }
+  const std::vector<PartitionStats>& partitions() const { return partitions_; }
   int failovers_applied() const {
     return static_cast<int>(failovers_applied_.value());
   }
@@ -134,6 +157,8 @@ class FaultInjector {
   void ApplyCrashNoStall(const FaultEvent& event);
   void ApplyRejoinNoStall(const FaultEvent& event);
   void ApplyFailover();
+  void ApplyPartitionStart(const FaultEvent& event);
+  void ApplyPartitionHeal(const FaultEvent& event);
   void AdvanceTo(SimTime t);
   void MaybeRefreshCheckpoint();
 
@@ -158,6 +183,12 @@ class FaultInjector {
   bool refresh_pending_ = false;
   obs::Counter checkpoint_refreshes_;
   bool had_no_stall_ = false;
+
+  // --- Partition state (single-cluster mode). ---
+  NodeId partitioned_node_ = kInvalidNode;
+  uint64_t held_at_cut_ = 0;  ///< Network::total_held() when the cut landed
+  std::vector<PartitionStats> partitions_;
+  bool had_partition_ = false;
 };
 
 }  // namespace hermes::fault

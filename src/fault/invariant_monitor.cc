@@ -6,6 +6,12 @@ namespace hermes::fault {
 
 void InvariantMonitor::Fail(std::string message) {
   failures_.push_back(std::move(message));
+  violations_.Add();
+  // Passive observability: the monitor writes the violation into the
+  // trace stream (cluster scope, arg = running failure count) but never
+  // reads anything back — detection stays side-effect-free for decisions.
+  HERMES_TRACE(tracer_, obs::EventKind::kInvariantViolation, kInvalidNode,
+               kInvalidTxn, static_cast<Key>(-1), failures_.size());
 }
 
 std::string InvariantMonitor::FailureReport() const {
@@ -166,6 +172,50 @@ bool InvariantMonitor::CheckDegradedOracle(engine::Cluster& live,
                   live.executor().aborted(), oracle.executor().committed(),
                   oracle.executor().aborted());
     Fail(buf);
+  }
+  return failures_.size() == before;
+}
+
+bool InvariantMonitor::CheckPartitionOracle(engine::Cluster& live,
+                                            engine::RouterKind kind,
+                                            const MapFactory& map_factory,
+                                            const std::string& context) {
+  const size_t before = failures_.size();
+  char buf[256];
+  const sim::Network& net = live.network();
+  if (net.any_cut()) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] partition oracle called with a link still cut "
+                  "(heal every cut before quiescence)",
+                  context.c_str());
+    Fail(buf);
+  }
+  if (net.messages_held() != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] %llu messages still parked in holding pens at "
+                  "quiescence (a heal lost them — message existence "
+                  "violated)",
+                  context.c_str(),
+                  static_cast<unsigned long long>(net.messages_held()));
+    Fail(buf);
+  }
+  if (net.cut_deliveries() != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "[%s] %llu payloads delivered while their send-time cut "
+                  "was still up (held messages may only land after the "
+                  "heal)",
+                  context.c_str(),
+                  static_cast<unsigned long long>(net.cut_deliveries()));
+    Fail(buf);
+  }
+  // A sub-threshold cut (detector never fired, no membership transitions)
+  // must leave routing untouched — fault-free replay reproduces it. A cut
+  // the detector converted into epochs replays under the recorded
+  // membership schedule, exactly like scripted no-stall crashes.
+  if (live.degraded_schedule().events.empty()) {
+    CheckAgainstOracle(live, kind, map_factory, context);
+  } else {
+    CheckDegradedOracle(live, kind, map_factory, context);
   }
   return failures_.size() == before;
 }

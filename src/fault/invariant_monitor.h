@@ -81,6 +81,26 @@ class InvariantMonitor {
   bool CheckReplicaCoherence(engine::Cluster& cluster,
                              const std::string& context);
 
+  /// Partition oracle (DESIGN.md §5 "Partitions & failure detection").
+  /// Call at quiescence after every cut healed. Asserts (a) every holding
+  /// pen drained — a parked payload that never delivered is a lost
+  /// message, (b) Network::cut_deliveries() == 0 — no payload crossed a
+  /// cut while it was up, (c) no link is still cut; then replays the
+  /// command log: against the degraded oracle when the run recorded
+  /// membership transitions (the detector fired), else against the
+  /// fault-free oracle (the cut stayed below the detection threshold, so
+  /// routing must be chaos-invariant as usual).
+  bool CheckPartitionOracle(engine::Cluster& live, engine::RouterKind kind,
+                            const MapFactory& map_factory,
+                            const std::string& context);
+
+  /// Observability taps (strictly passive, satellite of DESIGN.md §5
+  /// "Observability"): when attached, every Fail() also records a
+  /// kInvariantViolation trace event and bumps the counter — so a chaos
+  /// run's trace shows WHEN a check failed, not just that it did.
+  void AttachTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  uint64_t violations() const { return violations_.value(); }
+
   bool ok() const { return failures_.empty(); }
   const std::vector<std::string>& failures() const { return failures_; }
   std::string FailureReport() const;
@@ -90,6 +110,8 @@ class InvariantMonitor {
 
   uint64_t num_records_;
   std::vector<std::string> failures_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter violations_;
 };
 
 }  // namespace hermes::fault

@@ -57,6 +57,8 @@ const char* EventKindName(EventKind kind) {
       return "rejoin";
     case EventKind::kWatchdogAbort:
       return "watchdog_abort";
+    case EventKind::kTxnResume:
+      return "txn_resume";
     case EventKind::kStranded:
       return "stranded";
     case EventKind::kPark:
@@ -65,6 +67,18 @@ const char* EventKindName(EventKind kind) {
       return "retry";
     case EventKind::kUnavailable:
       return "unavailable";
+    case EventKind::kPartitionCut:
+      return "partition_cut";
+    case EventKind::kPartitionHeal:
+      return "partition_heal";
+    case EventKind::kHeartbeatMiss:
+      return "heartbeat_miss";
+    case EventKind::kDetectorSuspect:
+      return "detector_suspect";
+    case EventKind::kDetectorRestore:
+      return "detector_restore";
+    case EventKind::kInvariantViolation:
+      return "invariant_violation";
   }
   return "unknown";
 }

@@ -49,10 +49,18 @@ enum class EventKind : uint8_t {
   kCrash,             ///< node marked down (arg = membership epoch)
   kRejoin,            ///< node marked up (arg = membership epoch)
   kWatchdogAbort,     ///< watchdog UNDO-aborted a frozen transaction
+  kTxnResume,         ///< rejoin re-drove a stalled machine (arg = #thunks)
   kStranded,          ///< key left at a dead node by a watchdog abort
   kPark,              ///< blocked chunk/marker parked FIFO (key = blocker)
   kRetry,             ///< blocked regular rescheduled (dur = delay, arg = attempt)
   kUnavailable,       ///< retries exhausted, UNAVAILABLE abort to client
+  // Partitions & failure detection (DESIGN.md §5).
+  kPartitionCut,      ///< links around node cut (arg = 1 in | 2 out | 3 both)
+  kPartitionHeal,     ///< cut removed, holding pens released (arg = released)
+  kHeartbeatMiss,     ///< heartbeat node->arg missed (key = consecutive misses)
+  kDetectorSuspect,   ///< detector marked node down (arg = membership epoch)
+  kDetectorRestore,   ///< detector marked node up (arg = membership epoch)
+  kInvariantViolation,  ///< an InvariantMonitor check failed (arg = failure #)
 };
 
 /// Stable lower-case name used by the exporters ("txn_commit", ...).

@@ -28,10 +28,72 @@ void Network::EnsureCapacity(int num_nodes) {
   messages_duplicated_.resize(n, 0);
   bytes_received_.resize(n, 0);
   messages_received_.resize(n, 0);
+  messages_held_total_.resize(n, 0);
+  cut_deliveries_.resize(n, 0);
   for (auto& row : link_messages_) row.resize(n, 0);
   link_messages_.resize(n, std::vector<uint64_t>(n, 0));
   for (auto& row : send_seq_) row.resize(n, 0);
   send_seq_.resize(n, std::vector<uint64_t>(n, 0));
+  for (auto& row : cut_) row.resize(n, 0);
+  cut_.resize(n, std::vector<uint8_t>(n, 0));
+  for (auto& row : held_) row.resize(n);
+  held_.resize(n, std::vector<std::deque<HeldMessage>>(n));
+}
+
+bool Network::reachable(NodeId src, NodeId dst) const {
+  return cut_[src][dst] == 0;
+}
+
+void Network::CutLink(NodeId src, NodeId dst) {
+  assert(!sim_->in_lane_context() &&
+         "cuts are installed in exclusive context only");
+  assert(src != dst && "a node always reaches itself");
+  if (cut_[src][dst]) return;
+  cut_[src][dst] = 1;
+  ++cut_links_;
+}
+
+void Network::HealLink(NodeId src, NodeId dst) {
+  assert(!sim_->in_lane_context() &&
+         "heals are applied in exclusive context only");
+  if (!cut_[src][dst]) return;
+  cut_[src][dst] = 0;
+  --cut_links_;
+  // Release the pen in FIFO order. Each message keeps its send-time
+  // perturbation (draws were keyed by link_seq at Send) and re-measures
+  // its wire time from the heal point; per-link arrival order can still
+  // interleave by jitter, exactly as live traffic can.
+  std::deque<HeldMessage>& pen = held_[src][dst];
+  while (!pen.empty()) {
+    HeldMessage m = std::move(pen.front());
+    pen.pop_front();
+    ScheduleDelivery(src, dst, m.bytes, m.delivered, m.wire,
+                     /*was_held=*/true, std::move(m.cb));
+  }
+}
+
+uint64_t Network::messages_held() const {
+  uint64_t total = 0;
+  for (const auto& row : held_) {
+    for (const auto& pen : row) total += pen.size();
+  }
+  return total;
+}
+
+void Network::ScheduleDelivery(NodeId src, NodeId dst, uint64_t bytes,
+                               uint64_t delivered, SimTime wire, bool was_held,
+                               std::function<void()> cb) {
+  sim_->ScheduleOnLane(
+      static_cast<int>(dst), wire,
+      [this, src, dst, bytes, delivered, was_held, cb = std::move(cb)]() {
+        // A released message must never land under a still-live cut: the
+        // pen only drains on heal, so a nonzero count means a release
+        // raced a re-cut (the partition oracle asserts zero).
+        if (was_held && cut_[src][dst]) ++cut_deliveries_[dst];
+        bytes_received_[dst] += bytes * delivered;
+        messages_received_[dst] += delivered;
+        cb();
+      });
 }
 
 void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
@@ -75,13 +137,18 @@ void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
   // charged to the receiver by the delivery event itself — it runs on the
   // destination lane, which owns row `dst`.
   const uint64_t delivered = 1 + static_cast<uint64_t>(p.duplicates);
-  sim_->ScheduleOnLane(
-      static_cast<int>(dst), wire,
-      [this, dst, bytes, delivered, cb = std::move(on_delivery)]() {
-        bytes_received_[dst] += bytes * delivered;
-        messages_received_[dst] += delivered;
-        cb();
-      });
+  // A send into a live cut parks in the per-link FIFO pen (row `src`,
+  // owned by this lane) with its charges and perturbation already final;
+  // HealLink releases it. Sender-side counters above were charged as
+  // usual: the bytes left the NIC and died on the cut wire.
+  if (cut_[src][dst]) {
+    held_[src][dst].push_back(
+        HeldMessage{bytes, delivered, wire, std::move(on_delivery)});
+    ++messages_held_total_[src];
+    return;
+  }
+  ScheduleDelivery(src, dst, bytes, delivered, wire, /*was_held=*/false,
+                   std::move(on_delivery));
 }
 
 }  // namespace hermes::sim

@@ -2,6 +2,7 @@
 #define HERMES_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -68,6 +69,43 @@ class Network {
   /// Exclusive context only.
   void EnsureCapacity(int num_nodes);
 
+  // --- Partitions (DESIGN.md §5 "Partitions & failure detection"). ---
+  //
+  // The reachability matrix cuts *directed* links. Cut semantics are
+  // send-time: a message already on the wire when the cut lands still
+  // delivers (the receiver's transport buffer outlives the cut, matching
+  // the crash model), but a Send into a live cut is parked — payload,
+  // perturbation draw and byte charges intact — in a per-link FIFO
+  // holding pen and released only by HealLink. Message existence is
+  // preserved end-to-end, so record singularity and lock order survive a
+  // partition the same way they survive chaos. Cuts are installed and
+  // healed only in exclusive context (the fault layer drives them between
+  // epochs); lanes read the matrix, which is stable within an epoch.
+
+  /// Cuts the directed link src -> dst. Exclusive context only.
+  // detlint:requires(exclusive)
+  void CutLink(NodeId src, NodeId dst);
+
+  /// Heals the directed link src -> dst and releases its holding pen in
+  /// FIFO order: each parked message is re-scheduled onto the destination
+  /// lane with its original wire time measured from now. Exclusive
+  /// context only.
+  // detlint:requires(exclusive)
+  void HealLink(NodeId src, NodeId dst);
+
+  /// False while the directed link src -> dst is cut.
+  bool reachable(NodeId src, NodeId dst) const;
+  /// True while any directed link is cut.
+  bool any_cut() const { return cut_links_ > 0; }
+  /// Messages currently parked in holding pens.
+  uint64_t messages_held() const;
+  /// Cumulative messages ever parked (pen throughput).
+  uint64_t total_held() const { return Sum(messages_held_total_); }
+  /// Payloads that landed while their send-time cut was STILL up. The
+  /// partition oracle requires this to stay zero: a held message may only
+  /// deliver after its heal.
+  uint64_t cut_deliveries() const { return Sum(cut_deliveries_); }
+
   /// Installs (or clears, with nullptr) the fault-injection hook consulted
   /// for every inter-node message.
   void set_perturbation(PerturbationFn fn) { perturb_ = std::move(fn); }
@@ -96,7 +134,20 @@ class Network {
   uint64_t messages_duplicated() const { return Sum(messages_duplicated_); }
 
  private:
+  /// One parked message: everything the delivery closure needs, with the
+  /// perturbation already drawn (the draw is keyed by the send-time
+  /// link_seq, so parking does not shift any other message's draw).
+  struct HeldMessage {
+    uint64_t bytes = 0;
+    uint64_t delivered = 0;  ///< copies to charge the receiver
+    SimTime wire = 0;        ///< wire time, re-measured from the heal point
+    std::function<void()> cb;
+  };
+
   static uint64_t Sum(const std::vector<uint64_t>& row);
+  void ScheduleDelivery(NodeId src, NodeId dst, uint64_t bytes,
+                        uint64_t delivered, SimTime wire, bool was_held,
+                        std::function<void()> cb);
 
   Simulator* sim_;
   const CostModel* costs_;
@@ -116,6 +167,17 @@ class Network {
   /// lane (row `n` written only by node n's lane or the exclusive slice).
   std::vector<uint64_t> bytes_received_;
   std::vector<uint64_t> messages_received_;
+  /// cut_[src][dst] != 0 while the directed link is cut. Mutated only in
+  /// exclusive context; lanes read it (stable within an epoch).
+  std::vector<std::vector<uint8_t>> cut_;
+  int cut_links_ = 0;
+  /// held_[src][dst]: FIFO holding pen. Row `src` is pushed by src's lane
+  /// on Send and flushed by HealLink in exclusive context.
+  std::vector<std::vector<std::deque<HeldMessage>>> held_;
+  std::vector<uint64_t> messages_held_total_;  ///< per-source row
+  /// Charged by the delivery event (destination lane) when a held message
+  /// lands under a still-live cut — must stay zero.
+  std::vector<uint64_t> cut_deliveries_;
   PerturbationFn perturb_;
 };
 

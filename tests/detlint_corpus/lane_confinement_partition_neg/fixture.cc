@@ -1,0 +1,18 @@
+// detlint-fixture: path=src/engine/lane_confinement_partition_neg.cc
+// detlint:requires(exclusive)
+void CutLink(int src, int dst);
+
+// detlint:requires(exclusive)
+void Arm(unsigned long active_until);
+
+// detlint:runs(exclusive)
+void PartitionCut(int node, int peers) {
+  for (int peer = 0; peer < peers; ++peer) {
+    if (peer != node) CutLink(peer, node);
+  }
+  Arm(0);
+}
+
+void OnFaultEvent(Simulator& sim, int node, int peers) {
+  sim.Defer([node, peers] { CutLink(node, peers); });
+}

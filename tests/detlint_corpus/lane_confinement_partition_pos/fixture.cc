@@ -1,0 +1,14 @@
+// detlint-fixture: path=src/sim/lane_confinement_partition_pos.cc
+// detlint:requires(exclusive)
+void CutLink(int src, int dst);
+
+// detlint:requires(exclusive)
+void HealLink(int src, int dst);
+
+void OnLaneSendFailure(int src, int dst) {
+  CutLink(src, dst);
+}
+
+void OnLaneRecovery(int src, int dst) {
+  HealLink(src, dst);
+}

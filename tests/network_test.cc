@@ -160,6 +160,132 @@ TEST(NetworkTest, DuplicatesCostBothEndsButDeliverOnce) {
   EXPECT_EQ(net.messages_duplicated(), 1u);
 }
 
+// --- Partitions: reachability matrix + per-link FIFO holding pens. ---
+
+TEST(NetworkTest, CutParksSendsAndHealReleasesFifo) {
+  Simulator sim;
+  CostModel costs;
+  costs.net_latency_us = 100;
+  costs.net_us_per_byte = 0.0;
+  costs.message_overhead_bytes = 0;
+  Network net(&sim, &costs, 2);
+
+  net.CutLink(0, 1);
+  EXPECT_FALSE(net.reachable(0, 1));
+  EXPECT_TRUE(net.reachable(1, 0));
+  EXPECT_TRUE(net.any_cut());
+
+  std::vector<int> order;
+  net.Send(0, 1, 100, [&] { order.push_back(1); });
+  net.Send(0, 1, 100, [&] { order.push_back(2); });
+  net.Send(0, 1, 100, [&] { order.push_back(3); });
+  sim.RunAll();
+  EXPECT_TRUE(order.empty()) << "a parked message delivered under the cut";
+  EXPECT_EQ(net.messages_held(), 3u);
+  EXPECT_EQ(net.total_held(), 3u);
+  // The bytes left the sender's NIC and died on the cut wire.
+  EXPECT_EQ(net.bytes_sent(0), 300u);
+  EXPECT_EQ(net.bytes_received(1), 0u);
+
+  net.HealLink(0, 1);
+  EXPECT_FALSE(net.any_cut());
+  EXPECT_EQ(net.messages_held(), 0u);
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}))
+      << "pen must release in FIFO order";
+  EXPECT_EQ(net.bytes_received(1), 300u);
+  EXPECT_EQ(net.cut_deliveries(), 0u);
+}
+
+TEST(NetworkTest, OneWayCutOnlyBlocksThatDirection) {
+  Simulator sim;
+  CostModel costs;
+  Network net(&sim, &costs, 2);
+  net.CutLink(0, 1);
+  bool forward = false, backward = false;
+  net.Send(0, 1, 100, [&] { forward = true; });
+  net.Send(1, 0, 100, [&] { backward = true; });
+  sim.RunAll();
+  EXPECT_FALSE(forward);
+  EXPECT_TRUE(backward) << "the reverse direction must stay live";
+  net.HealLink(0, 1);
+  sim.RunAll();
+  EXPECT_TRUE(forward);
+}
+
+TEST(NetworkTest, HealRemeasuresWireTimeFromHealPoint) {
+  Simulator sim;
+  CostModel costs;
+  costs.net_latency_us = 100;
+  costs.net_us_per_byte = 0.0;
+  costs.message_overhead_bytes = 0;
+  Network net(&sim, &costs, 2);
+  net.CutLink(0, 1);
+
+  SimTime delivered_at = 0;
+  net.Send(0, 1, 100, [&] { delivered_at = sim.Now(); });
+  sim.Schedule(500, [&] { net.HealLink(0, 1); });
+  sim.RunAll();
+  // Parked at t=0, healed at t=500, wire re-measured from the heal.
+  EXPECT_EQ(delivered_at, 500u + 100u);
+}
+
+TEST(NetworkTest, MessageInFlightWhenCutLandsStillDelivers) {
+  // Send-time cut semantics: the receiver's transport buffer outlives the
+  // cut (matching the crash model), so a message already on the wire
+  // lands even though its link is cut before the delivery time.
+  Simulator sim;
+  CostModel costs;
+  costs.net_latency_us = 100;
+  Network net(&sim, &costs, 2);
+  bool delivered = false;
+  net.Send(0, 1, 100, [&] { delivered = true; });
+  sim.Schedule(10, [&] { net.CutLink(0, 1); });
+  sim.RunAll();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.total_held(), 0u);
+  EXPECT_EQ(net.cut_deliveries(), 0u);
+}
+
+TEST(NetworkTest, CutAndHealAreIdempotent) {
+  Simulator sim;
+  CostModel costs;
+  Network net(&sim, &costs, 2);
+  net.CutLink(0, 1);
+  net.CutLink(0, 1);
+  EXPECT_TRUE(net.any_cut());
+  net.HealLink(0, 1);
+  EXPECT_FALSE(net.any_cut());
+  net.HealLink(0, 1);
+  EXPECT_FALSE(net.any_cut());
+}
+
+TEST(NetworkTest, ParkedMessageKeepsItsSendTimePerturbation) {
+  // Draws are keyed by the send-time link_seq, so parking and releasing a
+  // message must not shift any draw: the held message carries its
+  // already-drawn duplicate count through the pen.
+  Simulator sim;
+  CostModel costs;
+  costs.message_overhead_bytes = 0;
+  Network net(&sim, &costs, 2);
+  net.set_perturbation([](NodeId, NodeId, uint64_t, SimTime, uint64_t seq) {
+    Perturbation p;
+    p.duplicates = seq == 0 ? 1 : 0;
+    return p;
+  });
+  net.CutLink(0, 1);
+  int deliveries = 0;
+  net.Send(0, 1, 1000, [&] { ++deliveries; });  // seq 0: duplicated
+  net.Send(0, 1, 1000, [&] { ++deliveries; });  // seq 1: clean
+  net.HealLink(0, 1);
+  sim.RunAll();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(net.bytes_sent(0), 3000u);      // dup costs the sender at send
+  EXPECT_EQ(net.bytes_received(1), 3000u);  // and the receiver at release
+  EXPECT_EQ(net.messages_received(1), 3u);
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+}
+
 TEST(NetworkTest, PerturbationIgnoresSelfSends) {
   Simulator sim;
   CostModel costs;
