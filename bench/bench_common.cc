@@ -107,9 +107,11 @@ RunResult RunGoogleWorkload(engine::RouterKind kind, GoogleRunParams params) {
   result.cpu.assign(params.windows, 0.0);
   result.net_per_txn.assign(params.windows, 0.0);
   result.net_recv_per_txn.assign(params.windows, 0.0);
+  result.net_fg_per_txn.assign(params.windows, 0.0);
+  result.net_bulk_per_txn.assign(params.windows, 0.0);
   const int total_workers = params.num_nodes * params.workers_per_node;
   for (int w = 0; w < params.windows; ++w) {
-    double commits = 0, busy = 0, bytes = 0, recv = 0;
+    double commits = 0, busy = 0, bytes = 0, recv = 0, fg = 0, bulk = 0;
     for (size_t i = 0; i < metric_windows_per_trace_window; ++i) {
       const size_t mw = w * metric_windows_per_trace_window + i;
       if (mw >= m.windows().size()) break;
@@ -117,13 +119,27 @@ RunResult RunGoogleWorkload(engine::RouterKind kind, GoogleRunParams params) {
       busy += static_cast<double>(m.windows()[mw].busy_us);
       bytes += static_cast<double>(m.windows()[mw].net_bytes);
       recv += static_cast<double>(m.windows()[mw].net_bytes_received);
+      fg += static_cast<double>(m.windows()[mw].net_fg_bytes);
+      bulk += static_cast<double>(m.windows()[mw].net_bulk_bytes);
     }
     result.throughput[w] = commits;
     result.cpu[w] =
         busy / (static_cast<double>(params.window_us) * total_workers);
     result.net_per_txn[w] = commits > 0 ? bytes / commits : 0.0;
     result.net_recv_per_txn[w] = commits > 0 ? recv / commits : 0.0;
+    result.net_fg_per_txn[w] = commits > 0 ? fg / commits : 0.0;
+    result.net_bulk_per_txn[w] = commits > 0 ? bulk / commits : 0.0;
   }
+  const net::Wire& wire = cluster.wire();
+  result.wire_fg_delay_p50_us =
+      wire.MergedQueueDelay(TrafficClass::kForeground).Percentile(0.50);
+  result.wire_fg_delay_p99_us =
+      wire.MergedQueueDelay(TrafficClass::kForeground).Percentile(0.99);
+  result.wire_bulk_delay_p99_us =
+      wire.MergedQueueDelay(TrafficClass::kBulk).Percentile(0.99);
+  result.wire_envelopes = wire.envelopes_sent();
+  result.wire_coalesced = wire.coalesced_messages();
+  result.wire_credit_stalls = wire.credit_stalls();
   result.avg_latency = m.AverageLatency();
   result.latency_p50_us = m.latency_histogram().Percentile(0.50);
   result.latency_p99_us = m.latency_histogram().Percentile(0.99);

@@ -56,6 +56,20 @@ struct RunResult {
   /// `net_per_txn` when messages straddle a window boundary or a chaos
   /// profile drops/duplicates wire attempts.
   std::vector<double> net_recv_per_txn;
+  /// Per-class wire bytes sent per commit per window (foreground = txn
+  /// execution traffic, bulk = migration/replica shipments). All zero
+  /// unless the wire substrate is enabled via the tweak hook
+  /// (config.net.enabled; DESIGN.md §5 "Wire substrate").
+  std::vector<double> net_fg_per_txn;
+  std::vector<double> net_bulk_per_txn;
+  /// Wire-substrate queueing delays (enqueue -> serializer accept) and
+  /// counters, whole-run; zero when the substrate is disabled.
+  SimTime wire_fg_delay_p50_us = 0;
+  SimTime wire_fg_delay_p99_us = 0;
+  SimTime wire_bulk_delay_p99_us = 0;
+  uint64_t wire_envelopes = 0;
+  uint64_t wire_coalesced = 0;
+  uint64_t wire_credit_stalls = 0;
   LatencyBreakdown avg_latency;
   SimTime latency_p50_us = 0;
   SimTime latency_p99_us = 0;

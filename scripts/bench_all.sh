@@ -12,6 +12,13 @@
 # digests are thread-count-invariant (ctest -L parallel proves it), so
 # this section measures time only.
 #
+# With NET_BENCH=1 it also runs bench_fig08_resource_usage (which ends
+# with the congested-fabric raw-vs-coalesced pair, Fig 8d) and emits
+# BENCH_net.json: per-class queueing-delay percentiles, envelope fold
+# counters, and the headline latency/throughput for both runs, parsed
+# from the bench's "NET <label> k=v..." lines. EXPERIMENTS.md records
+# the expected deltas (coalescing cuts fg p99 queueing delay).
+#
 # Usage: scripts/bench_all.sh
 #   BUILD_DIR    cmake build tree containing bench/ (default: build)
 #   OUT          output JSON path (default: BENCH_overall.json in repo root)
@@ -19,6 +26,8 @@
 #   SIM_TIMING   1 = also run the sequential-vs-parallel timing section
 #   SIM_OUT      its output path (default: BENCH_sim.json in repo root)
 #   SIM_THREADS  thread counts to time (default: "0 1 2 4 8")
+#   NET_BENCH    1 = also run the wire-substrate section (bench_fig08)
+#   NET_OUT      its output path (default: BENCH_net.json in repo root)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -145,6 +154,54 @@ for binary in (fig06, scale):
 
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF
+fi
+
+# ---- Wire-substrate congestion bench (BENCH_net.json) ----
+if [ "${NET_BENCH:-0}" = "1" ]; then
+  NET_OUT="${NET_OUT:-BENCH_net.json}"
+  FIG08="$BUILD_DIR/bench/bench_fig08_resource_usage"
+  if [ ! -x "$FIG08" ]; then
+    echo "error: $FIG08 not built" >&2
+    exit 1
+  fi
+  fig08_txt="$(mktemp)"
+  trap 'rm -f "$fig06_txt" "$micro_json" "$fig08_txt"' EXIT
+  echo "== $FIG08 =="
+  "$FIG08" | tee "$fig08_txt"
+  # Each "NET <label> k=v ..." line becomes one object keyed by label;
+  # numeric values are parsed as numbers so dashboards can diff the raw
+  # and coalesced runs directly.
+  python3 - "$fig08_txt" "$NET_OUT" <<'EOF'
+import json
+import os
+import sys
+
+fig08_path, out_path = sys.argv[1], sys.argv[2]
+
+runs = {}
+for line in open(fig08_path):
+    if not line.startswith("NET "):
+        continue
+    parts = line.split()
+    label, fields = parts[1], parts[2:]
+    run = {}
+    for field in fields:
+        key, _, value = field.partition("=")
+        run[key] = float(value) if "." in value else int(value)
+    runs[label] = run
+
+if "congested_raw" not in runs or "congested_coalesced" not in runs:
+    sys.exit("error: NET lines missing from bench_fig08_resource_usage output")
+
+with open(out_path, "w") as f:
+    json.dump({
+        "host_cpus": os.cpu_count(),
+        "hermes_sim_threads": int(os.environ.get("HERMES_SIM_THREADS", "0")),
+        "wire_substrate": runs,
+    }, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out_path}")
 EOF

@@ -213,3 +213,41 @@ fi
 
 echo "OK: partition profile identical across env salts x sim thread counts ($SIM_THREADS):"
 echo "  $partition_profiles"
+
+# Net profile: a seeded net-enabled lifetime (bounded-bandwidth links,
+# envelope coalescing, credit backpressure; plus a mid-run AddNode and a
+# partition cut/heal cycle draining a transmit queue into the pens) runs
+# once per env salt x thread count and prints a NET_PROFILE line —
+# decision/placement/trace digests, state checksum, commit count,
+# envelope/coalesce/transmit/stall counters, and the per-class queueing
+# p99s. Queueing, arbitration and coalescing must be pure functions of
+# (config, send order, virtual time), so every line across salts x
+# threads must be one value.
+net_bin="$BUILD_DIR/tests/wire_determinism_test"
+if [ ! -x "$net_bin" ]; then
+  echo "error: $net_bin not found — build first" >&2
+  exit 2
+fi
+
+net_out="$(mktemp)"
+trap 'rm -f "$out" "$chaos_out" "$trace_out" "$lease_out" "$partition_out" "$net_out"' EXIT
+
+for salt in $SALTS; do
+  for threads in $SIM_THREADS; do
+    echo "== net HERMES_HASH_SALT=$salt HERMES_SIM_THREADS=$threads =="
+    HERMES_HASH_SALT="$salt" HERMES_SIM_THREADS="$threads" "$net_bin" \
+      --gtest_filter='NetScriptProfile.*' | tee -a "$net_out"
+  done
+done
+
+net_profiles="$(sed -n 's/^NET_PROFILE //p' "$net_out" | sort -u)"
+net_count="$(printf '%s\n' "$net_profiles" | grep -c . || true)"
+
+if [ "$net_count" -ne 1 ]; then
+  echo "FAIL: expected one net profile across salts x threads, got $net_count:" >&2
+  printf '%s\n' "$net_profiles" >&2
+  exit 1
+fi
+
+echo "OK: net profile identical across env salts x sim thread counts ($SIM_THREADS):"
+echo "  $net_profiles"

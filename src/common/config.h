@@ -155,6 +155,48 @@ struct DetectorConfig {
   int confirm_threshold = 2;
 };
 
+/// Wire-substrate (src/net/) parameters: bounded-bandwidth links, envelope
+/// coalescing, and deterministic backpressure (DESIGN.md §5 "Wire
+/// substrate"). Every queueing, scheduling and coalescing decision is a
+/// pure function of (config, totally ordered per-link send sequence) in
+/// virtual time — never wall clock, never hash order — so digests are
+/// identical across hash salts and simulator thread counts.
+struct NetConfig {
+  /// Master switch. Off by default: Wire::Send degenerates to a direct
+  /// sim::Network::Send and every digest is bit-identical to a build
+  /// without the substrate.
+  bool enabled = false;
+  /// Serialization rate of each directed link's transmitter. 0 derives the
+  /// rate from the cost model (1 / net_us_per_byte), which makes the
+  /// substrate's queueing occupancy agree exactly with the per-byte wire
+  /// time the network already charges: delivery = propagation + queueing +
+  /// size/rate with no double-charging. A non-zero override models a NIC
+  /// slower (or faster) than the wire; it changes occupancy only.
+  double bytes_per_us = 0;
+  /// Outstanding-bytes window per directed link: transmitted-but-not-yet-
+  /// delivered wire bytes above which the transmitter stalls until credits
+  /// return on delivery. A message is always admitted when the link has
+  /// nothing outstanding, so one oversized message can never wedge a link.
+  /// 0 disables backpressure.
+  uint64_t link_credit_bytes = 64 * 1024;
+  /// Two-class weighted round-robin: foreground slots per cycle. When the
+  /// selected class cannot transmit (empty queue or no credits), the other
+  /// class is tried — so under saturation bulk traffic queues behind
+  /// foreground rather than ahead of it.
+  int fg_weight = 4;
+  /// Bulk (migration/replica/lease) slots per cycle.
+  int bulk_weight = 1;
+  /// Virtual time a bulk envelope stays open collecting messages for one
+  /// destination before it is sealed onto the transmit queue. All bulk
+  /// messages appended within the window ride one wire message (one
+  /// framing header) and are opened in append order at delivery.
+  /// 0 disables coalescing (every bulk message is its own envelope).
+  SimTime coalesce_window_us = 50;
+  /// Seals an open envelope early once its payload reaches this size;
+  /// 0 means no size cap.
+  uint64_t coalesce_max_bytes = 16 * 1024;
+};
+
 /// Observability (src/obs/) parameters. Tracing is strictly passive —
 /// nothing here may change a decision — so these knobs only affect what
 /// gets recorded, never what the cluster does.
@@ -208,6 +250,7 @@ struct ClusterConfig {
   DegradedConfig degraded;
   DetectorConfig detector;
   ReplicationConfig replication;
+  NetConfig net;
   ObsConfig obs;
   SimConfig sim;
 };

@@ -25,6 +25,18 @@ using SimTime = uint64_t;
 /// total-order protocol leader.
 using BatchId = uint64_t;
 
+/// Scheduling class of one inter-node message on the wire substrate
+/// (src/net/). Foreground is transaction-critical traffic (participant
+/// shipments of regular transactions); bulk is ownership/replica movement
+/// (chunk migrations, return write-backs, replica installs and fan-out,
+/// degraded-mode reships). The two-class weighted schedule and envelope
+/// coalescing key off this; per-class byte counters feed Fig. 8.
+enum class TrafficClass : uint8_t {
+  kForeground = 0,
+  kBulk = 1,
+};
+inline constexpr int kNumTrafficClasses = 2;
+
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr TxnId kInvalidTxn = std::numeric_limits<TxnId>::max();
 inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();

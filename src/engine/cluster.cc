@@ -49,10 +49,11 @@ Cluster::Cluster(const ClusterConfig& config, RouterKind kind,
       kind_(kind),
       metrics_(SecToSim(1)),
       net_(&sim_, &config_.costs, config.num_nodes),
+      wire_(&sim_, &net_, &config_.costs, &config_.net, config.num_nodes),
       ownership_(std::move(initial_partitioning)),
       router_(MakeRouter(kind, &ownership_, config_)),
       lease_mgr_(config.num_nodes),
-      executor_(&sim_, &net_, &metrics_, &config_.costs, &nodes_),
+      executor_(&sim_, &wire_, &metrics_, &config_.costs, &nodes_),
       sequencer_(&sim_, &config_,
                  [this](Batch&& batch) { OnBatchSequenced(std::move(batch)); }),
       scheduler_(&sim_, router_.get(), &executor_, &command_log_, &config_,
@@ -204,6 +205,40 @@ void Cluster::RegisterTelemetry() {
                                [this] { return detector_->suspects(); });
     telemetry_.RegisterCounter("hermes_detector_restores_total",
                                [this] { return detector_->restores(); });
+  }
+  // Wire-substrate metrics exist only when the substrate is enabled, so
+  // the existing TelemetryText goldens are unchanged for every other
+  // configuration (same gating pattern as the detector metrics above).
+  if (config_.net.enabled) {
+    telemetry_.RegisterCounter("hermes_wire_envelopes_total",
+                               [this] { return wire_.envelopes_sent(); });
+    telemetry_.RegisterCounter("hermes_wire_coalesced_messages_total", [this] {
+      return wire_.coalesced_messages();
+    });
+    telemetry_.RegisterCounter("hermes_wire_fg_transmits_total", [this] {
+      return wire_.transmits(TrafficClass::kForeground);
+    });
+    telemetry_.RegisterCounter("hermes_wire_bulk_transmits_total", [this] {
+      return wire_.transmits(TrafficClass::kBulk);
+    });
+    telemetry_.RegisterCounter("hermes_wire_credit_stalls_total",
+                               [this] { return wire_.credit_stalls(); });
+    telemetry_.RegisterGauge("hermes_wire_queued", [this] {
+      return static_cast<int64_t>(wire_.queued_now());
+    });
+    telemetry_.RegisterGauge("hermes_net_fg_bytes_sent_total", [this] {
+      return static_cast<int64_t>(
+          net_.class_bytes_sent(TrafficClass::kForeground));
+    });
+    telemetry_.RegisterGauge("hermes_net_bulk_bytes_sent_total", [this] {
+      return static_cast<int64_t>(net_.class_bytes_sent(TrafficClass::kBulk));
+    });
+    telemetry_.RegisterHistogram("hermes_wire_fg_queue_delay_us", [this] {
+      return wire_.MergedQueueDelay(TrafficClass::kForeground).Snapshot();
+    });
+    telemetry_.RegisterHistogram("hermes_wire_bulk_queue_delay_us", [this] {
+      return wire_.MergedQueueDelay(TrafficClass::kBulk).Snapshot();
+    });
   }
   if (kind_ == RouterKind::kHermes) {
     const auto* router = static_cast<const core::HermesRouter*>(router_.get());
@@ -373,6 +408,13 @@ void Cluster::SampleWindow() {
   const uint64_t received = net_.total_bytes_received();
   metrics_.RecordNetBytesReceived(stamp, received - sampled_net_recv_bytes_);
   sampled_net_recv_bytes_ = received;
+  for (int c = 0; c < kNumTrafficClasses; ++c) {
+    const auto cls = static_cast<TrafficClass>(c);
+    const uint64_t class_total = net_.class_bytes_sent(cls);
+    metrics_.RecordNetClassBytes(stamp, cls,
+                                 class_total - sampled_net_class_bytes_[c]);
+    sampled_net_class_bytes_[c] = class_total;
+  }
   metrics_.RecordDecisionDigest(stamp, digest_.value());
 }
 
@@ -449,6 +491,7 @@ NodeId Cluster::AddNode(const std::vector<RangeMove>& cold_plan,
   tracer_.EnsureNode(id);
   nodes_.push_back(std::make_unique<Node>(id, &sim_, config_.workers_per_node));
   net_.EnsureCapacity(id + 1);
+  wire_.GrowLinks(id + 1);
   lease_mgr_.EnsureNode(id);
 
   TxnRequest marker;
@@ -523,6 +566,7 @@ void Cluster::RestoreFromCheckpoint(const storage::Checkpoint& checkpoint) {
         std::make_unique<Node>(id, &sim_, config_.workers_per_node));
   }
   net_.EnsureCapacity(static_cast<int>(nodes_.size()));
+  wire_.GrowLinks(static_cast<int>(nodes_.size()));
   // Leases are soft state: checkpoints capture only primaries, so a
   // restore starts with no copies and no lease bookkeeping — the router
   // re-grants from fresh counters during replay, exactly as the live run
@@ -567,6 +611,7 @@ void Cluster::ReplayBatches(const std::vector<Batch>& batches) {
               std::make_unique<Node>(id, &sim_, config_.workers_per_node));
         }
         net_.EnsureCapacity(num_nodes());
+        wire_.GrowLinks(num_nodes());
       }
     }
     Batch copy = batch;
@@ -665,8 +710,18 @@ void Cluster::PartitionCut(NodeId node, bool cut_inbound, bool cut_outbound) {
   assert(!replaying_ && "replay applies the recorded schedule instead");
   for (NodeId peer = 0; peer < num_nodes(); ++peer) {
     if (peer == node) continue;
-    if (cut_inbound) net_.CutLink(peer, node);
-    if (cut_outbound) net_.CutLink(node, peer);
+    // Cut the fabric first, then drain the wire substrate's transmit
+    // queue (and any open envelope) into the link's holding pen: the
+    // drained sends see the live cut and park in FIFO order, so a queue
+    // that was non-empty at cut time survives the partition intact.
+    if (cut_inbound) {
+      net_.CutLink(peer, node);
+      wire_.OnLinkCut(peer, node);
+    }
+    if (cut_outbound) {
+      net_.CutLink(node, peer);
+      wire_.OnLinkCut(node, peer);
+    }
   }
   ++partitions_cut_;
   HERMES_TRACE(&tracer_, obs::EventKind::kPartitionCut, node, kInvalidTxn,

@@ -22,6 +22,7 @@
 #include "engine/node.h"
 #include "engine/scheduler.h"
 #include "engine/sequencer.h"
+#include "net/wire.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "partition/partition_map.h"
@@ -265,6 +266,10 @@ class Cluster {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
   sim::Network& network() { return net_; }
+  /// Wire substrate above the fabric (DESIGN.md §5 "Wire substrate").
+  /// Inert passthrough unless config.net.enabled.
+  net::Wire& wire() { return wire_; }
+  const net::Wire& wire() const { return wire_; }
   routing::Router& router() { return *router_; }
   partition::OwnershipMap& ownership() { return ownership_; }
   TxnExecutor& executor() { return executor_; }
@@ -399,6 +404,9 @@ class Cluster {
   sim::Simulator sim_;
   Metrics metrics_;
   sim::Network net_;
+  /// Declared after net_ (it sends into it) and before executor_ (which
+  /// sends through it).
+  net::Wire wire_;
   std::vector<std::unique_ptr<Node>> nodes_;
   partition::OwnershipMap ownership_;
   std::unique_ptr<routing::Router> router_;
@@ -420,6 +428,7 @@ class Cluster {
 
   uint64_t sampled_net_bytes_ = 0;
   uint64_t sampled_net_recv_bytes_ = 0;
+  uint64_t sampled_net_class_bytes_[kNumTrafficClasses] = {0, 0};
   bool replaying_ = false;
 
   /// Seeded source for OLLP staleness draws (deterministic per cluster).

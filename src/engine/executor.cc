@@ -30,10 +30,10 @@ constexpr Key kNoKey = static_cast<Key>(-1);
 
 }  // namespace
 
-TxnExecutor::TxnExecutor(sim::Simulator* sim, sim::Network* net,
+TxnExecutor::TxnExecutor(sim::Simulator* sim, net::Wire* wire,
                          Metrics* metrics, const CostModel* costs,
                          std::vector<std::unique_ptr<Node>>* nodes)
-    : sim_(sim), net_(net), metrics_(metrics), costs_(costs), nodes_(nodes) {}
+    : sim_(sim), net_(wire), metrics_(metrics), costs_(costs), nodes_(nodes) {}
 
 TxnExecutor::NodeState* TxnExecutor::StateFor(Active& a, NodeId node) {
   for (auto& [id, state] : a.nodes) {
@@ -350,10 +350,16 @@ void TxnExecutor::FinishParticipant(Active& a, NodeId node) {
   }
 
   const TxnId id = a.plan.txn.id;
+  // Regular transactions block on these shipments (foreground); chunk
+  // migrations and provisioning markers move data in the background (bulk,
+  // eligible for envelope coalescing on the wire substrate).
+  const TrafficClass ship_cls = a.plan.txn.kind == TxnKind::kRegular
+                                    ? TrafficClass::kForeground
+                                    : TrafficClass::kBulk;
   uint64_t migrated = 0;
   for (auto& [dest, shipment] : shipments) {
     migrated += shipment.moves.size();
-    net_->Send(node, dest, shipment.bytes,
+    net_->Send(node, dest, shipment.bytes, ship_cls,
                [this, id, dest, moves = std::move(shipment.moves),
                 notify_master = shipment.to_master]() {
                  for (const auto& [key, rec] : moves) {
@@ -526,7 +532,7 @@ void TxnExecutor::CommitMaster(Active& a, MasterState& m) {
         // epoch's sequenced batch stream, so the refresh costs it one
         // storage op, not a point-to-point RPC deserialization (only the
         // initial install pays msg_processing for its fetch).
-        net_->Send(m.node, h, costs_->record_bytes,
+        net_->Send(m.node, h, costs_->record_bytes, TrafficClass::kBulk,
                    [this, k, h, id, snapshot]() {
                      if (NodeDead(h)) return;
                      NodeAt(h).workers().Submit(costs_->storage_op_us, [] {});
@@ -585,7 +591,7 @@ void TxnExecutor::Acknowledge(Active& a) {
     TrackInFlight(r.key, r.from, r.to, a.plan.txn.id, *rec);
     ++returns;
     send_work[r.from] += costs_->storage_op_us;
-    net_->Send(r.from, r.to, costs_->record_bytes,
+    net_->Send(r.from, r.to, costs_->record_bytes, TrafficClass::kBulk,
                [this, r, record = *rec]() {
                  if (!NodeDead(r.to)) {
                    NodeAt(r.to).workers().Submit(
@@ -912,7 +918,7 @@ void TxnExecutor::StartReplicaInstall(Key key, NodeId source, NodeId holder,
       lease_mgr_->ApplyCopy(holder, key, snapshot, /*install=*/true, txn);
       return;
     }
-    net_->Send(src, holder, costs_->record_bytes,
+    net_->Send(src, holder, costs_->record_bytes, TrafficClass::kBulk,
                [this, key, holder, txn, snapshot]() {
                  if (NodeDead(holder)) return;
                  NodeAt(holder).workers().Submit(costs_->msg_processing_us,
@@ -1176,7 +1182,7 @@ void TxnExecutor::ReshipRecord(Key key, NodeId from, NodeId to) {
   TrackInFlight(key, from, to, kInvalidTxn, *rec);
   if (ledger_ != nullptr) ledger_->RecordReship();
   NodeAt(from).workers().Submit(costs_->storage_op_us, [] {});
-  net_->Send(from, to, costs_->record_bytes,
+  net_->Send(from, to, costs_->record_bytes, TrafficClass::kBulk,
              [this, key, to, record = *rec]() {
                if (!NodeDead(to)) {
                  NodeAt(to).workers().Submit(

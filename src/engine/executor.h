@@ -16,6 +16,7 @@
 #include "engine/degraded.h"
 #include "engine/metrics.h"
 #include "engine/node.h"
+#include "net/wire.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "replication/lease_manager.h"
@@ -63,7 +64,12 @@ class TxnExecutor {
  public:
   using CommitCallback = std::function<void(const TxnResult&)>;
 
-  TxnExecutor(sim::Simulator* sim, sim::Network* net, Metrics* metrics,
+  /// All cross-node shipments go through the wire substrate (`wire`): it
+  /// tags each message foreground (transaction-critical participant
+  /// shipments) or bulk (migration write-backs, replica traffic, reships)
+  /// and, when config.net.enabled, applies bounded-bandwidth queueing,
+  /// coalescing and backpressure before the message reaches the fabric.
+  TxnExecutor(sim::Simulator* sim, net::Wire* wire, Metrics* metrics,
               const CostModel* costs,
               std::vector<std::unique_ptr<Node>>* nodes);
 
@@ -311,7 +317,7 @@ class TxnExecutor {
   void ProcessGrants(NodeId node, const std::vector<TxnId>& granted);
 
   sim::Simulator* sim_;
-  sim::Network* net_;
+  net::Wire* net_;
   Metrics* metrics_;
   const CostModel* costs_;
   std::vector<std::unique_ptr<Node>>* nodes_;

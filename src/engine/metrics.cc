@@ -98,6 +98,16 @@ void Metrics::RecordNetBytesReceived(SimTime when, uint64_t bytes) {
   WindowAt(when).net_bytes_received += bytes;
 }
 
+void Metrics::RecordNetClassBytes(SimTime when, TrafficClass cls,
+                                  uint64_t bytes) {
+  WindowStats& w = WindowAt(when);
+  if (cls == TrafficClass::kForeground) {
+    w.net_fg_bytes += bytes;
+  } else {
+    w.net_bulk_bytes += bytes;
+  }
+}
+
 void Metrics::RecordDecisionDigest(SimTime when, uint64_t digest) {
   WindowAt(when).decision_digest = digest;
 }

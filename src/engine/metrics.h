@@ -23,6 +23,11 @@ struct WindowStats {
   /// skew on a healthy fabric; under fault injection the gap is the cost of
   /// dropped wire attempts (sent, never delivered).
   uint64_t net_bytes_received = 0;
+  /// Per-class split of `net_bytes`: foreground (transaction-critical
+  /// participant shipments) vs bulk (migration/replica/reship traffic) —
+  /// the Fig. 8 foreground-vs-migration wire series.
+  uint64_t net_fg_bytes = 0;
+  uint64_t net_bulk_bytes = 0;
   /// DecisionDigest value sampled at the window boundary. A prefix of the
   /// run's decision stream: two replicas agreeing up to window w have
   /// identical values here, so the first differing window brackets where
@@ -78,6 +83,8 @@ class Metrics {
   void RecordBusy(SimTime when, uint64_t busy_us);
   void RecordNetBytes(SimTime when, uint64_t bytes);
   void RecordNetBytesReceived(SimTime when, uint64_t bytes);
+  /// Adds wire bytes of one traffic class to `when`'s window.
+  void RecordNetClassBytes(SimTime when, TrafficClass cls, uint64_t bytes);
   /// Snapshots the cluster's decision digest into `when`'s window.
   void RecordDecisionDigest(SimTime when, uint64_t digest);
 

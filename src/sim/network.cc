@@ -8,6 +8,19 @@ namespace hermes::sim {
 
 Network::Network(Simulator* sim, const CostModel* costs, int num_nodes)
     : sim_(sim), costs_(costs) {
+  // Register every per-node counter row and per-link matrix once;
+  // EnsureCapacity grows the registered lists so a counter added here can
+  // never be missed by a resize site.
+  counter_rows_ = {&bytes_sent_,      &messages_sent_,
+                   &messages_dropped_, &messages_duplicated_,
+                   &bytes_received_,  &messages_received_,
+                   &messages_held_total_, &cut_deliveries_};
+  for (int c = 0; c < kNumTrafficClasses; ++c) {
+    counter_rows_.push_back(&class_bytes_sent_[c]);
+    counter_rows_.push_back(&class_messages_sent_[c]);
+    counter_rows_.push_back(&class_bytes_received_[c]);
+  }
+  counter_matrices_ = {&link_messages_, &send_seq_};
   EnsureCapacity(num_nodes);
 }
 
@@ -22,18 +35,11 @@ void Network::EnsureCapacity(int num_nodes) {
          "capacity growth must happen in exclusive context");
   const size_t n = static_cast<size_t>(num_nodes);
   if (bytes_sent_.size() >= n) return;
-  bytes_sent_.resize(n, 0);
-  messages_sent_.resize(n, 0);
-  messages_dropped_.resize(n, 0);
-  messages_duplicated_.resize(n, 0);
-  bytes_received_.resize(n, 0);
-  messages_received_.resize(n, 0);
-  messages_held_total_.resize(n, 0);
-  cut_deliveries_.resize(n, 0);
-  for (auto& row : link_messages_) row.resize(n, 0);
-  link_messages_.resize(n, std::vector<uint64_t>(n, 0));
-  for (auto& row : send_seq_) row.resize(n, 0);
-  send_seq_.resize(n, std::vector<uint64_t>(n, 0));
+  for (std::vector<uint64_t>* row : counter_rows_) row->resize(n, 0);
+  for (std::vector<std::vector<uint64_t>>* matrix : counter_matrices_) {
+    for (auto& row : *matrix) row.resize(n, 0);
+    matrix->resize(n, std::vector<uint64_t>(n, 0));
+  }
   for (auto& row : cut_) row.resize(n, 0);
   cut_.resize(n, std::vector<uint8_t>(n, 0));
   for (auto& row : held_) row.resize(n);
@@ -68,7 +74,7 @@ void Network::HealLink(NodeId src, NodeId dst) {
     HeldMessage m = std::move(pen.front());
     pen.pop_front();
     ScheduleDelivery(src, dst, m.bytes, m.delivered, m.wire,
-                     /*was_held=*/true, std::move(m.cb));
+                     /*was_held=*/true, m.cls, std::move(m.cb));
   }
 }
 
@@ -82,22 +88,23 @@ uint64_t Network::messages_held() const {
 
 void Network::ScheduleDelivery(NodeId src, NodeId dst, uint64_t bytes,
                                uint64_t delivered, SimTime wire, bool was_held,
-                               std::function<void()> cb) {
+                               TrafficClass cls, std::function<void()> cb) {
   sim_->ScheduleOnLane(
       static_cast<int>(dst), wire,
-      [this, src, dst, bytes, delivered, was_held, cb = std::move(cb)]() {
+      [this, src, dst, bytes, delivered, was_held, cls, cb = std::move(cb)]() {
         // A released message must never land under a still-live cut: the
         // pen only drains on heal, so a nonzero count means a release
         // raced a re-cut (the partition oracle asserts zero).
         if (was_held && cut_[src][dst]) ++cut_deliveries_[dst];
         bytes_received_[dst] += bytes * delivered;
         messages_received_[dst] += delivered;
+        class_bytes_received_[static_cast<int>(cls)][dst] += bytes * delivered;
         cb();
       });
 }
 
 void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
-                   std::function<void()> on_delivery) {
+                   std::function<void()> on_delivery, TrafficClass cls) {
   assert(src >= 0 && src < static_cast<NodeId>(bytes_sent_.size()));
   assert(dst >= 0 && dst < static_cast<NodeId>(bytes_sent_.size()));
   // Send-side counters are row `src`: only that node's lane (or the
@@ -125,6 +132,8 @@ void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
       static_cast<uint64_t>(p.duplicates);
   bytes_sent_[src] += bytes * attempts;
   messages_sent_[src] += attempts;
+  class_bytes_sent_[static_cast<int>(cls)][src] += bytes * attempts;
+  class_messages_sent_[static_cast<int>(cls)][src] += attempts;
   link_messages_[src][dst] += attempts;
   messages_dropped_[src] += static_cast<uint64_t>(p.dropped_attempts);
   messages_duplicated_[src] += static_cast<uint64_t>(p.duplicates);
@@ -143,11 +152,11 @@ void Network::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
   // usual: the bytes left the NIC and died on the cut wire.
   if (cut_[src][dst]) {
     held_[src][dst].push_back(
-        HeldMessage{bytes, delivered, wire, std::move(on_delivery)});
+        HeldMessage{bytes, delivered, wire, cls, std::move(on_delivery)});
     ++messages_held_total_[src];
     return;
   }
-  ScheduleDelivery(src, dst, bytes, delivered, wire, /*was_held=*/false,
+  ScheduleDelivery(src, dst, bytes, delivered, wire, /*was_held=*/false, cls,
                    std::move(on_delivery));
 }
 

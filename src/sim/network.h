@@ -61,9 +61,13 @@ class Network {
   /// Sends `payload_bytes` of application payload from `src` to `dst` and
   /// runs `on_delivery` when the message lands (on node `dst`'s lane).
   /// Framing overhead is added to the byte count automatically. May be
-  /// called from `src`'s lane or from exclusive context.
+  /// called from `src`'s lane or from exclusive context. `cls` only tags
+  /// the per-class byte/message counters (Fig. 8's foreground-vs-migration
+  /// split): it never changes timing or ordering at this layer — the wire
+  /// substrate (src/net/) schedules classes above this fabric.
   void Send(NodeId src, NodeId dst, uint64_t payload_bytes,
-            std::function<void()> on_delivery);
+            std::function<void()> on_delivery,
+            TrafficClass cls = TrafficClass::kForeground);
 
   /// Grows counters when nodes are added by dynamic provisioning.
   /// Exclusive context only.
@@ -114,6 +118,19 @@ class Network {
   uint64_t total_messages() const { return Sum(messages_sent_); }
   uint64_t bytes_sent(NodeId node) const { return bytes_sent_[node]; }
 
+  /// Wire bytes sent (all attempts) carrying messages of `cls`.
+  uint64_t class_bytes_sent(TrafficClass cls) const {
+    return Sum(class_bytes_sent_[static_cast<int>(cls)]);
+  }
+  /// Wire messages sent (all attempts) carrying messages of `cls`.
+  uint64_t class_messages_sent(TrafficClass cls) const {
+    return Sum(class_messages_sent_[static_cast<int>(cls)]);
+  }
+  /// Wire bytes delivered carrying messages of `cls`.
+  uint64_t class_bytes_received(TrafficClass cls) const {
+    return Sum(class_bytes_received_[static_cast<int>(cls)]);
+  }
+
   /// Bytes successfully delivered to `node` (equals the send-side count
   /// minus in-flight and dropped wire attempts, plus duplicated copies).
   uint64_t bytes_received(NodeId node) const { return bytes_received_[node]; }
@@ -141,13 +158,21 @@ class Network {
     uint64_t bytes = 0;
     uint64_t delivered = 0;  ///< copies to charge the receiver
     SimTime wire = 0;        ///< wire time, re-measured from the heal point
+    TrafficClass cls = TrafficClass::kForeground;
     std::function<void()> cb;
   };
 
   static uint64_t Sum(const std::vector<uint64_t>& row);
   void ScheduleDelivery(NodeId src, NodeId dst, uint64_t bytes,
                         uint64_t delivered, SimTime wire, bool was_held,
-                        std::function<void()> cb);
+                        TrafficClass cls, std::function<void()> cb);
+
+  /// Every per-node counter row and per-link matrix, grown in one place so
+  /// a new counter cannot be forgotten by one of the resize sites (they
+  /// used to be five hand-copied resize stanzas). Rows are registered once
+  /// in the constructor; EnsureCapacity walks the lists.
+  std::vector<std::vector<uint64_t>*> counter_rows_;
+  std::vector<std::vector<std::vector<uint64_t>>*> counter_matrices_;
 
   Simulator* sim_;
   const CostModel* costs_;
@@ -163,10 +188,16 @@ class Network {
   /// send_seq_[src][dst]: messages initiated on the directed link; feeds
   /// the perturbation hook its per-link sequence number.
   std::vector<std::vector<uint64_t>> send_seq_;
+  /// Per-class send-side rows (row = source node, same ownership rule as
+  /// bytes_sent_), indexed by TrafficClass.
+  std::vector<uint64_t> class_bytes_sent_[kNumTrafficClasses];
+  std::vector<uint64_t> class_messages_sent_[kNumTrafficClasses];
   /// Receive-side rows, charged by the delivery event on the destination
   /// lane (row `n` written only by node n's lane or the exclusive slice).
   std::vector<uint64_t> bytes_received_;
   std::vector<uint64_t> messages_received_;
+  /// Per-class receive-side rows (row = destination node).
+  std::vector<uint64_t> class_bytes_received_[kNumTrafficClasses];
   /// cut_[src][dst] != 0 while the directed link is cut. Mutated only in
   /// exclusive context; lanes read it (stable within an epoch).
   std::vector<std::vector<uint8_t>> cut_;

@@ -1,0 +1,16 @@
+// detlint-fixture: path=src/net/lane_confinement_net_neg.cc
+// detlint:requires(exclusive)
+void ReturnCredit(int src, int dst, unsigned long wire_bytes);
+
+// detlint:requires(exclusive)
+void OnLinkCut(int src, int dst);
+
+void OnWireDelivery(Simulator& sim, int src, int dst,
+                    unsigned long wire_bytes) {
+  sim.Defer([src, dst, wire_bytes] { ReturnCredit(src, dst, wire_bytes); });
+}
+
+// detlint:runs(exclusive)
+void PartitionCut(int src, int dst) {
+  OnLinkCut(src, dst);
+}

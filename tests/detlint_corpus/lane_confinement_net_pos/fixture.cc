@@ -1,0 +1,16 @@
+// detlint-fixture: path=src/net/lane_confinement_net_pos.cc
+// detlint:requires(exclusive)
+void ReturnCredit(int src, int dst, unsigned long wire_bytes);
+
+// detlint:requires(exclusive)
+void OnLinkCut(int src, int dst);
+
+void OnWireDelivery(int src, int dst, unsigned long wire_bytes) {
+  // Credit return from a lane-side delivery callback without riding the
+  // barrier: touches the source row while its lane may be running.
+  ReturnCredit(src, dst, wire_bytes);
+}
+
+void CutWithoutExclusive(int src, int dst) {
+  OnLinkCut(src, dst);
+}

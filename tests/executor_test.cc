@@ -6,6 +6,7 @@
 
 #include "engine/metrics.h"
 #include "engine/node.h"
+#include "net/wire.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -20,7 +21,8 @@ class ExecutorTest : public ::testing::Test {
   ExecutorTest()
       : metrics_(SecToSim(1)),
         net_(&sim_, &costs_, 4),
-        executor_(&sim_, &net_, &metrics_, &costs_, &nodes_) {
+        wire_(&sim_, &net_, &costs_, &net_config_, 4),
+        executor_(&sim_, &wire_, &metrics_, &costs_, &nodes_) {
     for (NodeId i = 0; i < 4; ++i) {
       nodes_.push_back(std::make_unique<Node>(i, &sim_, 2));
     }
@@ -48,6 +50,8 @@ class ExecutorTest : public ::testing::Test {
   CostModel costs_;
   Metrics metrics_;
   sim::Network net_;
+  NetConfig net_config_;
+  net::Wire wire_;
   std::vector<std::unique_ptr<Node>> nodes_;
   TxnExecutor executor_;
 };

@@ -1,8 +1,11 @@
 #include "sim/network.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/config.h"
+#include "net/wire.h"
 #include "sim/simulator.h"
 
 namespace hermes::sim {
@@ -284,6 +287,98 @@ TEST(NetworkTest, ParkedMessageKeepsItsSendTimePerturbation) {
   EXPECT_EQ(net.bytes_received(1), 3000u);  // and the receiver at release
   EXPECT_EQ(net.messages_received(1), 3u);
   EXPECT_EQ(net.messages_duplicated(), 1u);
+}
+
+// --- Wire substrate over the pens: cuts landing on a busy serializer. ---
+
+TEST(NetworkTest, CutWhileTransmitQueueNonEmptyParksQueuedMessagesFifo) {
+  Simulator sim;
+  CostModel costs;
+  costs.net_latency_us = 100;
+  costs.net_us_per_byte = 0.001;
+  costs.message_overhead_bytes = 0;
+  Network fabric(&sim, &costs, 2);
+  NetConfig net_config;
+  net_config.enabled = true;
+  net_config.coalesce_window_us = 0;
+  net::Wire wire(&sim, &fabric, &costs, &net_config, 2);
+
+  std::vector<int> order;
+  std::vector<SimTime> at;
+  auto record = [&](int id) {
+    return [&, id] {
+      order.push_back(id);
+      at.push_back(sim.Now());
+    };
+  };
+  // m1 transmits immediately (serialization 10us) and is on the wire when
+  // the cut lands; m2/m3 are still sitting in the transmit queue.
+  wire.Send(0, 1, 10'000, TrafficClass::kForeground, record(1));
+  wire.Send(0, 1, 10'000, TrafficClass::kForeground, record(2));
+  wire.Send(0, 1, 10'000, TrafficClass::kForeground, record(3));
+  sim.Schedule(5, [&] {
+    fabric.CutLink(0, 1);
+    wire.OnLinkCut(0, 1);
+  });
+  // A send issued under the cut goes straight to the pen behind them.
+  sim.Schedule(20, [&] { wire.Send(0, 1, 10'000, TrafficClass::kForeground,
+                                   record(4)); });
+  sim.Schedule(600, [&] { fabric.HealLink(0, 1); });
+  sim.RunAll();
+
+  // In-flight m1 still lands (send-time cut semantics); the queued pair
+  // parked FIFO and re-measure their wire time from the heal point.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  ASSERT_EQ(at.size(), 4u);
+  EXPECT_EQ(at[0], 110u);
+  EXPECT_EQ(at[1], 600u + 110u);
+  EXPECT_EQ(at[2], 600u + 110u);
+  EXPECT_EQ(at[3], 600u + 110u);
+  EXPECT_EQ(fabric.cut_deliveries(), 0u);
+  EXPECT_EQ(fabric.messages_held(), 0u);
+  EXPECT_EQ(wire.queued_now(), 0u) << "the drain must empty the queue";
+}
+
+TEST(NetworkTest, CutFlushesOpenEnvelopeIntoThePen) {
+  Simulator sim;
+  CostModel costs;
+  costs.net_latency_us = 100;
+  costs.net_us_per_byte = 0.001;
+  costs.message_overhead_bytes = 0;
+  Network fabric(&sim, &costs, 2);
+  NetConfig net_config;
+  net_config.enabled = true;
+  net_config.coalesce_window_us = 1000;  // window still open at the cut
+  net_config.coalesce_max_bytes = 0;
+  net::Wire wire(&sim, &fabric, &costs, &net_config, 2);
+
+  std::vector<int> order;
+  std::vector<SimTime> at;
+  wire.Send(0, 1, 100, TrafficClass::kBulk, [&] {
+    order.push_back(1);
+    at.push_back(sim.Now());
+  });
+  wire.Send(0, 1, 100, TrafficClass::kBulk, [&] {
+    order.push_back(2);
+    at.push_back(sim.Now());
+  });
+  sim.Schedule(5, [&] {
+    fabric.CutLink(0, 1);
+    wire.OnLinkCut(0, 1);
+    // The open envelope sealed and parked as ONE wire message.
+    EXPECT_EQ(fabric.messages_held(), 1u);
+  });
+  sim.Schedule(600, [&] { fabric.HealLink(0, 1); });
+  sim.RunAll();
+
+  EXPECT_EQ(order, (std::vector<int>{1, 2}))
+      << "envelope must open in append order at delivery";
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], 600u + 100u);  // 200 bytes round to zero wire time
+  EXPECT_EQ(at[1], 600u + 100u);
+  EXPECT_EQ(wire.envelopes_sent(), 1u);
+  EXPECT_EQ(wire.coalesced_messages(), 2u);
+  EXPECT_EQ(fabric.cut_deliveries(), 0u);
 }
 
 TEST(NetworkTest, PerturbationIgnoresSelfSends) {

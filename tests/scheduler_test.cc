@@ -7,6 +7,7 @@
 #include "engine/executor.h"
 #include "engine/metrics.h"
 #include "engine/node.h"
+#include "net/wire.h"
 #include "partition/partition_map.h"
 #include "routing/calvin_router.h"
 #include "sim/network.h"
@@ -22,7 +23,8 @@ class SchedulerTest : public ::testing::Test {
         router_(&ownership_, &config_.costs, 2),
         metrics_(SecToSim(1)),
         net_(&sim_, &config_.costs, 2),
-        executor_(&sim_, &net_, &metrics_, &config_.costs, &nodes_),
+        wire_(&sim_, &net_, &config_.costs, &config_.net, 2),
+        executor_(&sim_, &wire_, &metrics_, &config_.costs, &nodes_),
         scheduler_(&sim_, &router_, &executor_, &log_, &config_,
                    [](const TxnRequest&) { return nullptr; }) {
     config_.costs.route_linear_us = 50;
@@ -52,6 +54,7 @@ class SchedulerTest : public ::testing::Test {
   routing::CalvinRouter router_;
   Metrics metrics_;
   sim::Network net_;
+  net::Wire wire_;
   std::vector<std::unique_ptr<Node>> nodes_;
   TxnExecutor executor_;
   storage::CommandLog log_;

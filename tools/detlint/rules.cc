@@ -735,7 +735,8 @@ class Linter {
     if (requires_set.empty()) return;
     if (!PathContains(f.virtual_path, "src/engine/") &&
         !PathContains(f.virtual_path, "src/sim/") &&
-        !PathContains(f.virtual_path, "src/replication/")) {
+        !PathContains(f.virtual_path, "src/replication/") &&
+        !PathContains(f.virtual_path, "src/net/")) {
       return;
     }
     const auto& t = f.tokens;
